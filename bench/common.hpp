@@ -1,0 +1,110 @@
+// Shared utilities for the figure-reproduction benches.
+//
+// Every bench binary accepts the same flags:
+//   --width F    channel width multiplier   (default 0.25 — CPU-scale)
+//   --image N    input resolution           (default 32; UNet uses 2×)
+//   --batch N    batch size                 (default 4, like the paper)
+//   --models a,b comma-separated subset     (default: all 10)
+// The defaults keep every bench under a couple of minutes on one core while
+// preserving the paper's qualitative shapes (see DESIGN.md substitutions).
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/temco.hpp"
+#include "decomp/pass.hpp"
+#include "models/zoo.hpp"
+#include "runtime/executor.hpp"
+#include "runtime/planner.hpp"
+#include "support/bytes.hpp"
+#include "support/rng.hpp"
+
+namespace temco::bench {
+
+struct BenchConfig {
+  double width = 0.25;
+  std::int64_t image = 32;
+  std::int64_t batch = 4;
+  double ratio = 0.1;  ///< decomposition ratio, matching §4.1
+  std::vector<std::string> models;
+};
+
+inline BenchConfig parse_args(int argc, char** argv) {
+  BenchConfig config;
+  for (const auto& spec : models::model_zoo()) config.models.push_back(spec.name);
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      TEMCO_CHECK(i + 1 < argc) << arg << " needs a value";
+      return argv[++i];
+    };
+    if (arg == "--width") {
+      config.width = std::stod(next());
+    } else if (arg == "--image") {
+      config.image = std::stoll(next());
+    } else if (arg == "--batch") {
+      config.batch = std::stoll(next());
+    } else if (arg == "--ratio") {
+      config.ratio = std::stod(next());
+    } else if (arg == "--models") {
+      config.models.clear();
+      std::string list = next();
+      std::size_t pos = 0;
+      while (pos != std::string::npos) {
+        const std::size_t comma = list.find(',', pos);
+        config.models.push_back(list.substr(pos, comma - pos));
+        pos = comma == std::string::npos ? comma : comma + 1;
+      }
+    } else {
+      std::fprintf(stderr, "unknown flag %s\n", arg.c_str());
+      std::exit(2);
+    }
+  }
+  return config;
+}
+
+inline models::ModelConfig model_config(const BenchConfig& bench, const models::ModelSpec& spec) {
+  models::ModelConfig config;
+  config.batch = bench.batch;
+  config.width = bench.width;
+  // AlexNet always runs at full width: its stride-4 stem shrinks feature
+  // maps 16× in one step, so at reduced widths the *input image* dominates
+  // every memory ratio and the paper's shapes invert.  It is by far the
+  // smallest model, so full width stays cheap.
+  if (spec.family == "AlexNet") config.width = std::max(config.width, 1.0);
+  // Segmentation runs at higher resolution than classification (Carvana vs
+  // ImageNet in the paper); scale accordingly.
+  config.image = spec.family == "UNet" ? bench.image * 2 : bench.image;
+  return config;
+}
+
+/// The decomposed baseline of §4.1 (Tucker, ratio 0.1 by default).
+inline ir::Graph decomposed_baseline(const ir::Graph& original, const BenchConfig& bench) {
+  decomp::DecomposeOptions options;
+  options.method = decomp::Method::kTucker;
+  options.ratio = bench.ratio;
+  return decomp::decompose(original, options).graph;
+}
+
+inline Tensor random_input(const ir::Graph& graph, std::uint64_t seed) {
+  for (const auto& node : graph.nodes()) {
+    if (node.kind == ir::OpKind::kInput) {
+      Rng rng(seed);
+      return Tensor::random_normal(node.out_shape, rng);
+    }
+  }
+  TEMCO_FAIL() << "graph has no input";
+}
+
+inline double geomean(const std::vector<double>& values) {
+  double log_sum = 0.0;
+  for (const double v : values) log_sum += std::log(v);
+  return values.empty() ? 0.0 : std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+}  // namespace temco::bench

@@ -1,0 +1,93 @@
+// Decomposition quality sweep (§2.1 context): reconstruction error, weight
+// bytes, and conv FLOPs for Tucker-2 / CP / TT across decomposition ratios —
+// the trade-off space the ratio-0.1 operating point of §4.1 sits in.
+#include "bench/common.hpp"
+#include "decomp/cp.hpp"
+#include "decomp/tt.hpp"
+#include "decomp/tucker.hpp"
+#include "tensor/compare.hpp"
+
+using namespace temco;
+
+namespace {
+
+std::int64_t conv_flops(std::int64_t c_out, std::int64_t c_in, std::int64_t k,
+                        std::int64_t spatial) {
+  return 2 * c_out * spatial * spatial * c_in * k * k;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  (void)temco::bench::parse_args(argc, argv);
+  const std::int64_t c_in = 64;
+  const std::int64_t c_out = 64;
+  const std::int64_t k = 3;
+  const std::int64_t spatial = 28;
+  Rng rng(4242);
+  const Tensor w = Tensor::random_normal(Shape{c_out, c_in, k, k}, rng, 0.2f);
+
+  std::printf("=== Decomposition quality sweep: conv %lldx%lldx%lldx%lld, %lldx%lld maps ===\n\n",
+              static_cast<long long>(c_out), static_cast<long long>(c_in),
+              static_cast<long long>(k), static_cast<long long>(k),
+              static_cast<long long>(spatial), static_cast<long long>(spatial));
+  std::printf("%-8s %-7s %12s %14s %14s\n", "method", "ratio", "rel_error", "weight_bytes",
+              "seq_flops");
+
+  const std::int64_t dense_flops = conv_flops(c_out, c_in, k, spatial);
+  std::printf("%-8s %-7s %12s %14lld %14lld\n", "dense", "-", "0",
+              static_cast<long long>(c_out * c_in * k * k * 4),
+              static_cast<long long>(dense_flops));
+
+  for (const double ratio : {0.05, 0.1, 0.2, 0.4}) {
+    const std::int64_t r_in = decomp::rank_for(c_in, ratio);
+    const std::int64_t r_out = decomp::rank_for(c_out, ratio);
+    {
+      const auto f = decomp::tucker2_decompose(w, r_in, r_out, 1);
+      const double err = relative_error(w, tucker2_reconstruct(f));
+      const std::int64_t bytes = (c_in * r_in + r_in * r_out * k * k + r_out * c_out) * 4;
+      const std::int64_t flops = conv_flops(r_in, c_in, 1, spatial) +
+                                 conv_flops(r_out, r_in, k, spatial) +
+                                 conv_flops(c_out, r_out, 1, spatial);
+      std::printf("%-8s %-7.2f %12.4f %14lld %14lld\n", "tucker", ratio, err,
+                  static_cast<long long>(bytes), static_cast<long long>(flops));
+    }
+    {
+      const std::int64_t rank = decomp::rank_for(std::max(c_in, c_out), ratio);
+      const auto f = decomp::cp_decompose(w, rank, 25, 7);
+      const double err = relative_error(w, cp_reconstruct(f));
+      const std::int64_t bytes = (c_in * rank + rank * k + rank * k + rank * c_out) * 4;
+      const std::int64_t flops = conv_flops(rank, c_in, 1, spatial) +
+                                 2 * rank * spatial * spatial * k * 2 +
+                                 conv_flops(c_out, rank, 1, spatial);
+      std::printf("%-8s %-7.2f %12.4f %14lld %14lld\n", "cp", ratio, err,
+                  static_cast<long long>(bytes), static_cast<long long>(flops));
+    }
+    {
+      decomp::TtRanks ranks;
+      ranks.r1 = r_in;
+      ranks.r3 = r_out;
+      ranks.r2 = std::max(ranks.r1, ranks.r3);
+      const auto f = decomp::tt_decompose(w, ranks);
+      const double err = relative_error(w, tt_reconstruct(f));
+      const std::int64_t r1 = f.g1.shape()[1];
+      const std::int64_t r2 = f.g2.shape()[2];
+      const std::int64_t r3 = f.g3.shape()[2];
+      const std::int64_t bytes = (c_in * r1 + r1 * k * r2 + r2 * k * r3 + r3 * c_out) * 4;
+      const std::int64_t flops = conv_flops(r1, c_in, 1, spatial) +
+                                 2 * r2 * spatial * spatial * r1 * k +
+                                 2 * r3 * spatial * spatial * r2 * k +
+                                 conv_flops(c_out, r3, 1, spatial);
+      std::printf("%-8s %-7.2f %12.4f %14lld %14lld\n", "tt", ratio, err,
+                  static_cast<long long>(bytes), static_cast<long long>(flops));
+    }
+  }
+  std::printf("\nHOOI refinement at ratio 0.1 (Tucker): ");
+  for (int iters : {0, 1, 2, 4}) {
+    const auto f = decomp::tucker2_decompose(w, decomp::rank_for(c_in, 0.1),
+                                             decomp::rank_for(c_out, 0.1), iters);
+    std::printf("it%d=%.4f  ", iters, relative_error(w, tucker2_reconstruct(f)));
+  }
+  std::printf("\n");
+  return 0;
+}

@@ -1,0 +1,89 @@
+// §2.2 analytic memory model: Equations (1)–(4) evaluated in closed form and
+// cross-checked against the memory planner on the two-conv example of
+// Figure 3, across a sweep of channel widths.
+#include <algorithm>
+
+#include "bench/common.hpp"
+
+using namespace temco;
+
+namespace {
+
+struct Case {
+  std::int64_t n, c, cp, cpp, h, k;
+};
+
+void run_case(const Case& s, double ratio) {
+  ir::Graph g;
+  Rng rng(60);
+  const std::int64_t pad = s.k / 2;
+  const auto x = g.input(Shape{s.n, s.c, s.h, s.h});
+  const auto c1 = g.conv2d(x, Tensor::random_normal(Shape{s.cp, s.c, s.k, s.k}, rng, 0.2f),
+                           Tensor::zeros(Shape{s.cp}), 1, pad);
+  const auto r = g.relu(c1);
+  const auto c2 = g.conv2d(r, Tensor::random_normal(Shape{s.cpp, s.cp, s.k, s.k}, rng, 0.2f),
+                           Tensor::zeros(Shape{s.cpp}), 1, pad);
+  g.set_outputs({c2});
+  g.infer_shapes();
+
+  const std::int64_t unit = s.n * s.h * s.h * 4;  // bytes per channel map
+  // Eq. (3): MAX(CHW + C'H'W', 2C'H'W', C'H'W' + C''H''W'').
+  const std::int64_t eq3 =
+      std::max({s.c * unit + s.cp * unit, 2 * s.cp * unit, s.cp * unit + s.cpp * unit});
+  const auto plan_orig = runtime::plan_memory(g);
+
+  const auto dec = decomp::decompose(g, {.ratio = ratio});
+  const auto plan_dec = runtime::plan_memory(dec.graph);
+  // Eq. (4) reduces to 2C'H'W' when ranks are small.
+  const std::int64_t eq4_dominant = 2 * s.cp * unit;
+
+  const auto optimized = core::optimize(dec.graph, {});
+  const auto plan_opt = runtime::plan_memory(optimized);
+
+  // Eq. (1)/(2) weight bytes (sans biases, which the equations omit).
+  const std::int64_t eq1 = (s.c * s.cp * s.k * s.k + s.cp * s.cpp * s.k * s.k) * 4;
+  const std::int64_t r1 = decomp::rank_for(s.c, ratio);
+  const std::int64_t r2 = decomp::rank_for(s.cp, ratio);
+  const std::int64_t r3 = decomp::rank_for(s.cp, ratio);
+  const std::int64_t r4 = decomp::rank_for(s.cpp, ratio);
+  const std::int64_t eq2 = (s.c * r1 + r1 * r2 * s.k * s.k + r2 * s.cp + s.cp * r3 +
+                            r3 * r4 * s.k * s.k + r4 * s.cpp) *
+                           4;
+
+  std::printf("N=%lld C=%lld C'=%lld C''=%lld H=%lld K=%lld\n", static_cast<long long>(s.n),
+              static_cast<long long>(s.c), static_cast<long long>(s.cp),
+              static_cast<long long>(s.cpp), static_cast<long long>(s.h),
+              static_cast<long long>(s.k));
+  std::printf("  Eq.(1) dense weights     : %12s  (planner: %s)\n",
+              format_bytes(static_cast<std::uint64_t>(eq1)).c_str(),
+              format_bytes(static_cast<std::uint64_t>(g.total_weight_bytes())).c_str());
+  std::printf("  Eq.(2) decomposed weights: %12s  (planner: %s)\n",
+              format_bytes(static_cast<std::uint64_t>(eq2)).c_str(),
+              format_bytes(static_cast<std::uint64_t>(dec.graph.total_weight_bytes())).c_str());
+  std::printf("  Eq.(3) dense peak        : %12s  (planner: %s)  %s\n",
+              format_bytes(static_cast<std::uint64_t>(eq3)).c_str(),
+              format_bytes(static_cast<std::uint64_t>(plan_orig.peak_internal_bytes)).c_str(),
+              eq3 == plan_orig.peak_internal_bytes ? "EXACT" : "MISMATCH");
+  std::printf("  Eq.(4) decomposed peak   : %12s  (planner: %s)  %s\n",
+              format_bytes(static_cast<std::uint64_t>(eq4_dominant)).c_str(),
+              format_bytes(static_cast<std::uint64_t>(plan_dec.peak_internal_bytes)).c_str(),
+              plan_dec.peak_internal_bytes == std::max(eq4_dominant, plan_dec.peak_internal_bytes)
+                  ? "2C'H'W' dominant"
+                  : "");
+  std::printf("  TeMCO-optimized peak     : %12s  (%.1f%% of decomposed)\n\n",
+              format_bytes(static_cast<std::uint64_t>(plan_opt.peak_with_scratch)).c_str(),
+              100.0 * static_cast<double>(plan_opt.peak_with_scratch) /
+                  static_cast<double>(plan_dec.peak_internal_bytes));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto bench = temco::bench::parse_args(argc, argv);
+  std::printf("=== §2.2 memory model: Eq. (1)-(4) vs the planner ===\n\n");
+  for (const Case& c : {Case{4, 64, 128, 64, 16, 3}, Case{4, 32, 64, 128, 32, 3},
+                        Case{1, 128, 256, 256, 8, 3}, Case{4, 64, 64, 64, 16, 5}}) {
+    run_case(c, bench.ratio);
+  }
+  return 0;
+}

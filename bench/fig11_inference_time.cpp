@@ -1,0 +1,56 @@
+// Figure 11: end-to-end inference time of the 10 models, batch sizes 4 and
+// 32 — Decomposed baseline vs TeMCO-optimized.
+//
+// The paper's qualitative shape this bench reproduces: the optimized model is
+// slower than the plain decomposed model (restore-layer copies + fused-kernel
+// tiling), with the overhead growing with batch size — 1.08× geomean at
+// batch 4 and 1.70× at batch 32 on the authors' GPU.
+#include "bench/common.hpp"
+#include "support/timer.hpp"
+
+using namespace temco;
+
+namespace {
+
+double time_graph(const ir::Graph& graph, int repeats) {
+  runtime::Executor executor(graph);
+  const Tensor input = temco::bench::random_input(graph, 99);
+  executor.run({input});  // warm-up
+  Timer timer;
+  for (int i = 0; i < repeats; ++i) executor.run({input});
+  return timer.elapsed_seconds() / repeats;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto bench = temco::bench::parse_args(argc, argv);
+  std::printf("=== Figure 11: end-to-end inference time (CPU substrate) ===\n");
+  std::printf("(width %.3g, image %lld, Tucker ratio %.2g)\n\n", bench.width,
+              static_cast<long long>(bench.image), bench.ratio);
+  std::printf("%-14s %6s %14s %14s %10s\n", "model", "batch", "decomposed", "temco", "overhead");
+
+  for (const std::int64_t batch : {std::int64_t{4}, std::int64_t{32}}) {
+    std::vector<double> overheads;
+    for (const auto& name : bench.models) {
+      auto batch_bench = bench;
+      batch_bench.batch = batch;
+      const auto& spec = models::find_model(name);
+      const auto original = spec.build(temco::bench::model_config(batch_bench, spec));
+      const auto decomposed = temco::bench::decomposed_baseline(original, batch_bench);
+      const auto optimized = core::optimize(decomposed, {});
+
+      const int repeats = batch >= 32 ? 1 : 3;
+      const double t_dec = time_graph(decomposed, repeats);
+      const double t_opt = time_graph(optimized, repeats);
+      const double overhead = t_opt / t_dec;
+      overheads.push_back(overhead);
+      std::printf("%-14s %6lld %12.1fms %12.1fms %9.2fx\n", name.c_str(),
+                  static_cast<long long>(batch), 1e3 * t_dec, 1e3 * t_opt, overhead);
+    }
+    std::printf("geomean overhead at batch %lld: %.2fx (paper: %s)\n\n",
+                static_cast<long long>(batch), temco::bench::geomean(overheads),
+                batch == 4 ? "1.08x" : "1.70x");
+  }
+  return 0;
+}

@@ -1,0 +1,125 @@
+// Kernel microbenchmarks (google-benchmark): dense conv, pointwise conv,
+// and — the §3.2 trade-off — fused lconv-act-fconv vs the unfused sequence.
+// The fused kernel trades a modest time overhead for never materializing the
+// restored tensor; this is the per-kernel version of Fig. 11's overhead.
+#include <benchmark/benchmark.h>
+
+#include "kernels/kernels.hpp"
+#include "support/rng.hpp"
+
+namespace {
+
+using namespace temco;
+
+void BM_Conv3x3(benchmark::State& state) {
+  const std::int64_t c = state.range(0);
+  const std::int64_t hw = state.range(1);
+  Rng rng(1);
+  const Tensor x = Tensor::random_normal(Shape{1, c, hw, hw}, rng);
+  const Tensor w = Tensor::random_normal(Shape{c, c, 3, 3}, rng, 0.1f);
+  const Tensor b = Tensor::zeros(Shape{c});
+  Tensor out = Tensor::zeros(Shape{1, c, hw, hw});
+  for (auto _ : state) {
+    kernels::conv2d(x, w, b, 1, 1, 1, 1, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * c * c * 9 * hw * hw);
+}
+BENCHMARK(BM_Conv3x3)->Args({32, 16})->Args({64, 16})->Args({32, 32});
+
+void BM_Conv1x1(benchmark::State& state) {
+  const std::int64_t c_in = state.range(0);
+  const std::int64_t c_out = state.range(1);
+  const std::int64_t hw = 32;
+  Rng rng(2);
+  const Tensor x = Tensor::random_normal(Shape{1, c_in, hw, hw}, rng);
+  const Tensor w = Tensor::random_normal(Shape{c_out, c_in, 1, 1}, rng, 0.1f);
+  const Tensor b = Tensor::zeros(Shape{c_out});
+  Tensor out = Tensor::zeros(Shape{1, c_out, hw, hw});
+  for (auto _ : state) {
+    kernels::conv2d(x, w, b, 1, 1, 0, 0, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * c_in * c_out * hw * hw);
+}
+BENCHMARK(BM_Conv1x1)->Args({8, 64})->Args({64, 8})->Args({64, 64});
+
+// Fused vs unfused lconv(relu(fconv)) sandwich, identical math.
+struct SandwichConfig {
+  std::int64_t c_reduced, c_restored, c_out, hw;
+};
+
+const SandwichConfig kSandwich{8, 64, 8, 32};
+
+void BM_SandwichUnfused(benchmark::State& state) {
+  Rng rng(3);
+  const auto& p = kSandwich;
+  const Tensor x = Tensor::random_normal(Shape{1, p.c_reduced, p.hw, p.hw}, rng);
+  const Tensor w1 = Tensor::random_normal(Shape{p.c_restored, p.c_reduced, 1, 1}, rng, 0.1f);
+  const Tensor b1 = Tensor::zeros(Shape{p.c_restored});
+  const Tensor w2 = Tensor::random_normal(Shape{p.c_out, p.c_restored, 1, 1}, rng, 0.1f);
+  const Tensor b2 = Tensor::zeros(Shape{p.c_out});
+  Tensor restored = Tensor::zeros(Shape{1, p.c_restored, p.hw, p.hw});
+  Tensor activated = Tensor::zeros(restored.shape());
+  Tensor out = Tensor::zeros(Shape{1, p.c_out, p.hw, p.hw});
+  for (auto _ : state) {
+    kernels::conv2d(x, w1, b1, 1, 1, 0, 0, restored);
+    kernels::relu(restored, activated);
+    kernels::conv2d(activated, w2, b2, 1, 1, 0, 0, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.counters["intermediate_bytes"] =
+      static_cast<double>(restored.bytes() + activated.bytes());
+}
+BENCHMARK(BM_SandwichUnfused);
+
+void BM_SandwichFused(benchmark::State& state) {
+  Rng rng(3);
+  const auto& p = kSandwich;
+  const Tensor x = Tensor::random_normal(Shape{1, p.c_reduced, p.hw, p.hw}, rng);
+  const Tensor w1 = Tensor::random_normal(Shape{p.c_restored, p.c_reduced, 1, 1}, rng, 0.1f);
+  const Tensor b1 = Tensor::zeros(Shape{p.c_restored});
+  const Tensor w2 = Tensor::random_normal(Shape{p.c_out, p.c_restored, 1, 1}, rng, 0.1f);
+  const Tensor b2 = Tensor::zeros(Shape{p.c_out});
+  Tensor out = Tensor::zeros(Shape{1, p.c_out, p.hw, p.hw});
+  for (auto _ : state) {
+    kernels::fused_conv_act_conv(x, w1, b1, w2, b2, ir::ActKind::kRelu, false,
+                                 ir::PoolKind::kMax, 2, 2, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.counters["intermediate_bytes"] = static_cast<double>(
+      kernels::fused_scratch_bytes(p.c_restored, p.hw, false, p.hw));
+}
+BENCHMARK(BM_SandwichFused);
+
+void BM_FusedWithPool(benchmark::State& state) {
+  Rng rng(4);
+  const auto& p = kSandwich;
+  const Tensor x = Tensor::random_normal(Shape{1, p.c_reduced, p.hw, p.hw}, rng);
+  const Tensor w1 = Tensor::random_normal(Shape{p.c_restored, p.c_reduced, 1, 1}, rng, 0.1f);
+  const Tensor b1 = Tensor::zeros(Shape{p.c_restored});
+  const Tensor w2 = Tensor::random_normal(Shape{p.c_out, p.c_restored, 1, 1}, rng, 0.1f);
+  const Tensor b2 = Tensor::zeros(Shape{p.c_out});
+  Tensor out = Tensor::zeros(Shape{1, p.c_out, p.hw / 2, p.hw / 2});
+  for (auto _ : state) {
+    kernels::fused_conv_act_conv(x, w1, b1, w2, b2, ir::ActKind::kRelu, true,
+                                 ir::PoolKind::kMax, 2, 2, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_FusedWithPool);
+
+void BM_MaxPool(benchmark::State& state) {
+  Rng rng(5);
+  const Tensor x = Tensor::random_normal(Shape{1, 64, 64, 64}, rng);
+  Tensor out = Tensor::zeros(Shape{1, 64, 32, 32});
+  for (auto _ : state) {
+    kernels::pool(x, ir::PoolKind::kMax, 2, 2, 2, 2, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_MaxPool);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,121 @@
+// §3.2 activation layer fusion.
+//
+// Matches lconv → activation [→ pool] → fconv chains (each link single-use)
+// and replaces them with one kFusedConvActConv node.  The full-width tensors
+// between lconv and fconv (Output1/Input2 in Fig. 3b) disappear from the
+// graph entirely — the fused kernel reconstructs them row by row in scratch.
+#include <optional>
+
+#include "core/rebuild.hpp"
+#include "core/temco.hpp"
+#include "support/log.hpp"
+
+namespace temco::core {
+
+namespace {
+
+using ir::Graph;
+using ir::Node;
+using ir::OpKind;
+using ir::ValueId;
+
+struct FusionMatch {
+  ValueId lconv;
+  ValueId act;
+  ValueId pool = ir::kInvalidValue;  // optional
+  ValueId fconv;
+  ir::ActKind act_kind;
+};
+
+bool single_user(const std::vector<std::vector<ValueId>>& users, const Graph& graph, ValueId id) {
+  return users[static_cast<std::size_t>(id)].size() == 1 && !graph.is_output(id);
+}
+
+/// The fused kernel handles square pooling windows (the models' 2×2/2 and
+/// 3×3/2 pools); anything else is left unfused.
+bool fusable_pool(const Node& node) {
+  return node.kind == OpKind::kPool && node.attrs.pool_kh == node.attrs.pool_kw &&
+         node.attrs.pool_sh == node.attrs.pool_sw;
+}
+
+std::optional<FusionMatch> match_at(const Graph& graph,
+                                    const std::vector<std::vector<ValueId>>& users,
+                                    const Node& lconv) {
+  if (!is_lconv(lconv) || !single_user(users, graph, lconv.id)) return std::nullopt;
+  const Node& act = graph.node(users[static_cast<std::size_t>(lconv.id)][0]);
+  if (act.kind != OpKind::kRelu && act.kind != OpKind::kSilu) return std::nullopt;
+  if (!single_user(users, graph, act.id)) return std::nullopt;
+
+  FusionMatch match;
+  match.lconv = lconv.id;
+  match.act = act.id;
+  match.act_kind = act.kind == OpKind::kRelu ? ir::ActKind::kRelu : ir::ActKind::kSilu;
+
+  // The consumer must be pointwise (1×1, stride 1, unpadded); channel ratio
+  // does not matter for correctness or memory — the full-width intermediate
+  // disappears either way (DenseNet bottlenecks expand, fconvs reduce).
+  const Node& next = graph.node(users[static_cast<std::size_t>(act.id)][0]);
+  if (fusable_pool(next)) {
+    if (!single_user(users, graph, next.id)) return std::nullopt;
+    const Node& after_pool = graph.node(users[static_cast<std::size_t>(next.id)][0]);
+    if (!is_pointwise_conv(after_pool)) return std::nullopt;
+    match.pool = next.id;
+    match.fconv = after_pool.id;
+    return match;
+  }
+  if (!is_pointwise_conv(next)) return std::nullopt;
+  match.fconv = next.id;
+  return match;
+}
+
+std::optional<Graph> try_fuse_one(const Graph& graph, OptimizeStats& st) {
+  const auto users = graph.users();
+  for (const Node& node : graph.nodes()) {
+    const auto match = match_at(graph, users, node);
+    if (!match.has_value()) continue;
+
+    std::unordered_set<ValueId> elide{match->lconv, match->act, match->fconv};
+    if (match->pool != ir::kInvalidValue) elide.insert(match->pool);
+
+    Graph out = detail::rebuild_with_replacement(
+        graph, elide, match->fconv, [&](Graph& g, std::vector<ValueId>& remap) {
+          const Node& l = graph.node(match->lconv);
+          const Node& f = graph.node(match->fconv);
+          const bool has_pool = match->pool != ir::kInvalidValue;
+          ir::PoolKind pool_kind = ir::PoolKind::kMax;
+          std::int64_t pool_k = 2;
+          std::int64_t pool_s = 2;
+          if (has_pool) {
+            const Node& p = graph.node(match->pool);
+            pool_kind = p.attrs.pool_kind;
+            pool_k = p.attrs.pool_kh;
+            pool_s = p.attrs.pool_sh;
+          }
+          const ValueId fused = g.fused_conv_act_conv(
+              remap[static_cast<std::size_t>(l.inputs[0])], l.weights[0].clone(),
+              l.weights[1].clone(), f.weights[0].clone(), f.weights[1].clone(), match->act_kind,
+              has_pool, pool_kind, pool_k, pool_s, l.name + ".fused");
+          g.node(fused).original_flops = l.original_flops;
+          remap[static_cast<std::size_t>(match->fconv)] = fused;
+        });
+    ++st.fused_kernels;
+    return out;
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+ir::Graph fuse_activations(const ir::Graph& graph, const TemcoOptions& options,
+                           OptimizeStats* stats) {
+  (void)options;
+  OptimizeStats local;
+  OptimizeStats& st = stats != nullptr ? *stats : local;
+
+  Graph current = graph;
+  while (auto next = try_fuse_one(current, st)) current = std::move(*next);
+  TEMCO_INFO() << "fusion: " << st.fused_kernels << " fused kernels";
+  return current;
+}
+
+}  // namespace temco::core

@@ -1,0 +1,27 @@
+// TeMCO pipeline driver (Fig. 6).
+#include "core/temco.hpp"
+#include "support/log.hpp"
+
+namespace temco::core {
+
+ir::Graph optimize(const ir::Graph& graph, const TemcoOptions& options, OptimizeStats* stats) {
+  graph.verify();
+  OptimizeStats local;
+  OptimizeStats& st = stats != nullptr ? *stats : local;
+
+  ir::Graph current = graph;
+  if (options.enable_skip_opt) {
+    current = optimize_skip_connections(current, options, &st);
+  }
+  if (options.enable_transforms) {
+    current = transform_layers(current, options, &st);
+  }
+  if (options.enable_fusion) {
+    current = fuse_activations(current, options, &st);
+  }
+  current = eliminate_dead_code(current, &st);
+  TEMCO_INFO() << "temco: " << st.to_string();
+  return current;
+}
+
+}  // namespace temco::core

@@ -1,0 +1,56 @@
+// Internal helper for pattern-replacement rewrites.
+//
+// A rewrite elides a set of matched nodes and emits replacement nodes at an
+// anchor position (the last elided node in schedule order), keeping the list
+// in SSA order.  Used by the layer-transformation and fusion passes, which
+// apply one match at a time until fixpoint.
+#pragma once
+
+#include <functional>
+#include <unordered_set>
+#include <vector>
+
+#include "ir/graph.hpp"
+
+namespace temco::core::detail {
+
+/// Emits replacement nodes into `out` (inputs already remapped via `remap`)
+/// and records new ids for elided values that still have users, by writing
+/// into `remap` directly.
+using EmitFn = std::function<void(ir::Graph& out, std::vector<ir::ValueId>& remap)>;
+
+/// Rebuilds `graph` skipping `elide`; when the anchor node is reached, `emit`
+/// runs instead of copying it.  Elided non-anchor nodes leave their remap
+/// entries invalid — `emit` must fill in every elided id that is still used.
+inline ir::Graph rebuild_with_replacement(const ir::Graph& graph,
+                                          const std::unordered_set<ir::ValueId>& elide,
+                                          ir::ValueId anchor, const EmitFn& emit) {
+  ir::Graph out;
+  std::vector<ir::ValueId> remap(graph.size(), ir::kInvalidValue);
+  for (const ir::Node& node : graph.nodes()) {
+    if (node.id == anchor) {
+      emit(out, remap);
+      continue;
+    }
+    if (elide.count(node.id) != 0) continue;
+    ir::Node copy = node;
+    for (ir::ValueId& in : copy.inputs) {
+      in = remap[static_cast<std::size_t>(in)];
+      TEMCO_CHECK(in != ir::kInvalidValue)
+          << "rewrite elided a value still used by " << node.name;
+    }
+    remap[static_cast<std::size_t>(node.id)] = out.append(std::move(copy));
+  }
+  std::vector<ir::ValueId> outputs;
+  for (const ir::ValueId o : graph.outputs()) {
+    const ir::ValueId mapped = remap[static_cast<std::size_t>(o)];
+    TEMCO_CHECK(mapped != ir::kInvalidValue) << "rewrite elided a graph output";
+    outputs.push_back(mapped);
+  }
+  out.set_outputs(std::move(outputs));
+  out.infer_shapes();
+  out.verify();
+  return out;
+}
+
+}  // namespace temco::core::detail

@@ -1,0 +1,140 @@
+#include "decomp/cp.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "linalg/matmul.hpp"
+#include "linalg/solve.hpp"
+#include "support/rng.hpp"
+
+namespace temco::decomp {
+
+namespace {
+
+/// GramA ∘ GramB ∘ GramC — the R×R normal-equation matrix for one ALS mode.
+Tensor hadamard_grams(const Tensor& a, const Tensor& b, const Tensor& c) {
+  const Tensor ga = linalg::matmul(linalg::transpose(a), a);
+  const Tensor gb = linalg::matmul(linalg::transpose(b), b);
+  const Tensor gc = linalg::matmul(linalg::transpose(c), c);
+  const std::int64_t r = ga.shape()[0];
+  Tensor g = Tensor::zeros(Shape{r, r});
+  for (std::int64_t i = 0; i < r * r; ++i) {
+    g.data()[i] = ga.data()[i] * gb.data()[i] * gc.data()[i];
+  }
+  return g;
+}
+
+/// Normalizes columns of `m` to unit 2-norm, multiplying the scales into the
+/// matching columns of `carrier`.
+void normalize_into(Tensor& m, Tensor& carrier) {
+  const std::int64_t rows = m.shape()[0];
+  const std::int64_t r = m.shape()[1];
+  const std::int64_t carrier_rows = carrier.shape()[0];
+  for (std::int64_t j = 0; j < r; ++j) {
+    double norm_sq = 0.0;
+    for (std::int64_t i = 0; i < rows; ++i) norm_sq += static_cast<double>(m.at(i, j)) * m.at(i, j);
+    const double norm = std::sqrt(norm_sq);
+    if (norm < 1e-12) continue;
+    const float inv = static_cast<float>(1.0 / norm);
+    for (std::int64_t i = 0; i < rows; ++i) m.at(i, j) *= inv;
+    const float scale = static_cast<float>(norm);
+    for (std::int64_t i = 0; i < carrier_rows; ++i) carrier.at(i, j) *= scale;
+  }
+}
+
+}  // namespace
+
+CpFactors cp_decompose(const Tensor& weight, std::int64_t rank, int iterations,
+                       std::uint64_t seed) {
+  TEMCO_CHECK(weight.shape().rank() == 4);
+  const std::int64_t c_out = weight.shape()[0];
+  const std::int64_t c_in = weight.shape()[1];
+  const std::int64_t kh = weight.shape()[2];
+  const std::int64_t kw = weight.shape()[3];
+  rank = std::max<std::int64_t>(1, rank);
+
+  Rng rng(seed);
+  CpFactors f;
+  f.out = Tensor::random_normal(Shape{c_out, rank}, rng, 1.0f);
+  f.in = Tensor::random_normal(Shape{c_in, rank}, rng, 1.0f);
+  f.h = Tensor::random_normal(Shape{kh, rank}, rng, 1.0f);
+  f.w = Tensor::random_normal(Shape{kw, rank}, rng, 1.0f);
+
+  const float* pw = weight.data();
+
+  // MTTKRP for each mode by direct traversal of the dense 4-way tensor; the
+  // tensors here are at most a few MiB so this is simpler and fast enough.
+  const auto mttkrp = [&](int mode) -> Tensor {
+    const std::int64_t rows = mode == 0 ? c_out : mode == 1 ? c_in : mode == 2 ? kh : kw;
+    Tensor m = Tensor::zeros(Shape{rows, rank});
+    std::vector<float> prod(static_cast<std::size_t>(rank));
+    for (std::int64_t co = 0; co < c_out; ++co) {
+      for (std::int64_t ci = 0; ci < c_in; ++ci) {
+        for (std::int64_t a = 0; a < kh; ++a) {
+          const float* row = pw + ((co * c_in + ci) * kh + a) * kw;
+          for (std::int64_t b = 0; b < kw; ++b) {
+            const float x = row[b];
+            if (x == 0.0f) continue;
+            // Product of the three *other* factors' rows.
+            for (std::int64_t r = 0; r < rank; ++r) {
+              float p = 1.0f;
+              if (mode != 0) p *= f.out.at(co, r);
+              if (mode != 1) p *= f.in.at(ci, r);
+              if (mode != 2) p *= f.h.at(a, r);
+              if (mode != 3) p *= f.w.at(b, r);
+              prod[static_cast<std::size_t>(r)] = p;
+            }
+            const std::int64_t row_index = mode == 0 ? co : mode == 1 ? ci : mode == 2 ? a : b;
+            float* mrow = m.data() + row_index * rank;
+            for (std::int64_t r = 0; r < rank; ++r) mrow[r] += x * prod[static_cast<std::size_t>(r)];
+          }
+        }
+      }
+    }
+    return m;
+  };
+
+  for (int iter = 0; iter < iterations; ++iter) {
+    // Mode 0 (Cout): solve G·Aᵀ = MTTKRPᵀ.
+    f.out = linalg::transpose(
+        linalg::solve(hadamard_grams(f.in, f.h, f.w), linalg::transpose(mttkrp(0))));
+    f.in = linalg::transpose(
+        linalg::solve(hadamard_grams(f.out, f.h, f.w), linalg::transpose(mttkrp(1))));
+    normalize_into(f.in, f.out);
+    f.h = linalg::transpose(
+        linalg::solve(hadamard_grams(f.out, f.in, f.w), linalg::transpose(mttkrp(2))));
+    normalize_into(f.h, f.out);
+    f.w = linalg::transpose(
+        linalg::solve(hadamard_grams(f.out, f.in, f.h), linalg::transpose(mttkrp(3))));
+    normalize_into(f.w, f.out);
+  }
+  return f;
+}
+
+Tensor cp_reconstruct(const CpFactors& f) {
+  const std::int64_t c_out = f.out.shape()[0];
+  const std::int64_t c_in = f.in.shape()[0];
+  const std::int64_t kh = f.h.shape()[0];
+  const std::int64_t kw = f.w.shape()[0];
+  const std::int64_t rank = f.out.shape()[1];
+  Tensor w = Tensor::zeros(Shape{c_out, c_in, kh, kw});
+  for (std::int64_t co = 0; co < c_out; ++co) {
+    for (std::int64_t ci = 0; ci < c_in; ++ci) {
+      for (std::int64_t a = 0; a < kh; ++a) {
+        float* row = w.data() + ((co * c_in + ci) * kh + a) * kw;
+        for (std::int64_t b = 0; b < kw; ++b) {
+          double acc = 0.0;
+          for (std::int64_t r = 0; r < rank; ++r) {
+            acc += static_cast<double>(f.out.at(co, r)) * f.in.at(ci, r) * f.h.at(a, r) *
+                   f.w.at(b, r);
+          }
+          row[b] = static_cast<float>(acc);
+        }
+      }
+    }
+  }
+  return w;
+}
+
+}  // namespace temco::decomp

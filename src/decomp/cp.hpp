@@ -1,0 +1,32 @@
+// CP (canonical polyadic) decomposition of convolution weights
+// (Hitchcock 1927; conv factorization after Lebedev et al.).
+//
+// W[co,ci,kh,kw] ≈ Σ_r out[co,r]·in[ci,r]·h[kh,r]·w[kw,r], realized as
+//   fconv    : 1×1 conv (Cin → R) from `in`
+//   core     : depthwise Kh×1 conv from `h` (stride_h/pad_h of the original)
+//   core     : depthwise 1×Kw conv from `w` (stride_w/pad_w of the original)
+//   lconv    : 1×1 conv (R → Cout) from `out`, carries the original bias
+#pragma once
+
+#include <cstdint>
+
+#include "tensor/tensor.hpp"
+
+namespace temco::decomp {
+
+struct CpFactors {
+  Tensor out;  ///< [Cout, R]
+  Tensor in;   ///< [Cin, R]
+  Tensor h;    ///< [Kh, R]
+  Tensor w;    ///< [Kw, R]
+};
+
+/// Rank-R CP via alternating least squares with random (seeded) init.
+/// `iterations` full ALS sweeps; factors in/h/w are column-normalized with
+/// scale absorbed into `out`.
+CpFactors cp_decompose(const Tensor& weight, std::int64_t rank, int iterations = 25,
+                       std::uint64_t seed = 0x5eed);
+
+Tensor cp_reconstruct(const CpFactors& factors);
+
+}  // namespace temco::decomp

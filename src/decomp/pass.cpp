@@ -1,0 +1,203 @@
+#include "decomp/pass.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "decomp/cp.hpp"
+#include "decomp/tt.hpp"
+#include "decomp/tucker.hpp"
+#include "support/log.hpp"
+
+namespace temco::decomp {
+
+namespace {
+
+using ir::Graph;
+using ir::Node;
+using ir::Provenance;
+using ir::ValueId;
+
+/// [rows, cols] matrix → 1×1 conv weight [cols, rows, 1, 1] (transposed,
+/// for fconv-style "project rows onto columns" convolutions).
+Tensor matrix_to_fconv_weight(const Tensor& m) {
+  const std::int64_t rows = m.shape()[0];
+  const std::int64_t cols = m.shape()[1];
+  Tensor w = Tensor::zeros(Shape{cols, rows, 1, 1});
+  for (std::int64_t r = 0; r < rows; ++r) {
+    for (std::int64_t c = 0; c < cols; ++c) w.data()[c * rows + r] = m.at(r, c);
+  }
+  return w;
+}
+
+/// [rows, cols] matrix → 1×1 conv weight [rows, cols, 1, 1] (direct, for
+/// lconv-style "expand columns back to rows" convolutions).
+Tensor matrix_to_lconv_weight(const Tensor& m) {
+  const std::int64_t rows = m.shape()[0];
+  const std::int64_t cols = m.shape()[1];
+  Tensor w = Tensor::zeros(Shape{rows, cols, 1, 1});
+  std::copy(m.span().begin(), m.span().end(), w.span().begin());
+  return w;
+}
+
+Tensor zero_bias(std::int64_t channels) { return Tensor::zeros(Shape{channels}); }
+
+bool eligible(const Node& node, const DecomposeOptions& options) {
+  if (node.kind != ir::OpKind::kConv2d) return false;
+  // Never re-factorize pieces of an existing decomposed sequence (running
+  // the pass twice must be a no-op).
+  if (node.provenance != Provenance::kNone) return false;
+  const Shape& w = node.weights[0].shape();
+  const std::int64_t c_out = w[0];
+  const std::int64_t c_in = w[1];
+  if (w[2] == 1 && w[3] == 1) return false;  // 1×1 convs gain nothing
+  if (c_in < options.min_channels || c_out < options.min_channels) return false;
+  // Decomposition must actually reduce: ranks strictly below channel counts.
+  return rank_for(c_in, options.ratio) < c_in && rank_for(c_out, options.ratio) < c_out;
+}
+
+/// Emits the decomposed sequence for `conv` into `out`, returning the id of
+/// the final (lconv) value.  `x` is the remapped input id.
+ValueId emit_sequence(Graph& out, const Node& conv, ValueId x, const DecomposeOptions& options) {
+  const Tensor& weight = conv.weights[0];
+  const Tensor& bias = conv.weights[1];
+  const Shape& w = weight.shape();
+  const std::int64_t c_out = w[0];
+  const std::int64_t c_in = w[1];
+  const auto& a = conv.attrs;
+
+  switch (options.method) {
+    case Method::kTucker: {
+      const std::int64_t r_in = rank_for(c_in, options.ratio);
+      const std::int64_t r_out = rank_for(c_out, options.ratio);
+      const TuckerFactors f = tucker2_decompose(weight, r_in, r_out, options.hooi_iterations);
+      const ValueId v1 = out.conv2d(x, matrix_to_fconv_weight(f.u_in), zero_bias(r_in), 1, 0,
+                                    conv.name + ".fconv");
+      out.node(v1).provenance = Provenance::kFconv;
+      const ValueId v2 = out.conv2d_full(v1, f.core, zero_bias(r_out), a.stride_h, a.stride_w,
+                                         a.pad_h, a.pad_w, conv.name + ".core");
+      out.node(v2).provenance = Provenance::kCore;
+      const ValueId v3 = out.conv2d(v2, matrix_to_lconv_weight(f.u_out), bias.clone(), 1, 0,
+                                    conv.name + ".lconv");
+      out.node(v3).provenance = Provenance::kLconv;
+      return v3;
+    }
+    case Method::kCp: {
+      const std::int64_t rank = rank_for(std::max(c_in, c_out), options.ratio);
+      const CpFactors f = cp_decompose(weight, rank, options.cp_iterations, options.seed);
+      const std::int64_t kh = f.h.shape()[0];
+      const std::int64_t kw = f.w.shape()[0];
+      const ValueId v1 = out.conv2d(x, matrix_to_fconv_weight(f.in), zero_bias(rank), 1, 0,
+                                    conv.name + ".fconv");
+      out.node(v1).provenance = Provenance::kFconv;
+      // Depthwise Kh×1: weight [R, 1, Kh, 1] with w[r,0,j,0] = h[j,r].
+      Tensor wh = Tensor::zeros(Shape{rank, 1, kh, 1});
+      for (std::int64_t r = 0; r < rank; ++r) {
+        for (std::int64_t j = 0; j < kh; ++j) wh.data()[r * kh + j] = f.h.at(j, r);
+      }
+      const ValueId v2 = out.depthwise_conv2d_full(v1, std::move(wh), zero_bias(rank), a.stride_h,
+                                                   1, a.pad_h, 0, conv.name + ".core_h");
+      out.node(v2).provenance = Provenance::kCore;
+      Tensor ww = Tensor::zeros(Shape{rank, 1, 1, kw});
+      for (std::int64_t r = 0; r < rank; ++r) {
+        for (std::int64_t j = 0; j < kw; ++j) ww.data()[r * kw + j] = f.w.at(j, r);
+      }
+      const ValueId v3 = out.depthwise_conv2d_full(v2, std::move(ww), zero_bias(rank), 1,
+                                                   a.stride_w, 0, a.pad_w, conv.name + ".core_w");
+      out.node(v3).provenance = Provenance::kCore;
+      const ValueId v4 = out.conv2d(v3, matrix_to_lconv_weight(f.out), bias.clone(), 1, 0,
+                                    conv.name + ".lconv");
+      out.node(v4).provenance = Provenance::kLconv;
+      return v4;
+    }
+    case Method::kTt: {
+      TtRanks ranks;
+      ranks.r1 = rank_for(c_in, options.ratio);
+      ranks.r3 = rank_for(c_out, options.ratio);
+      ranks.r2 = std::max(ranks.r1, ranks.r3);
+      const TtFactors f = tt_decompose(weight, ranks);
+      const std::int64_t r1 = f.g1.shape()[1];
+      const std::int64_t kh = f.g2.shape()[1];
+      const std::int64_t r2 = f.g2.shape()[2];
+      const std::int64_t kw = f.g3.shape()[1];
+      const std::int64_t r3 = f.g3.shape()[2];
+
+      const ValueId v1 = out.conv2d(x, matrix_to_fconv_weight(f.g1), zero_bias(r1), 1, 0,
+                                    conv.name + ".fconv");
+      out.node(v1).provenance = Provenance::kFconv;
+      // Kh×1 core: weight [r2, r1, Kh, 1] with w[b,a,j,0] = g2[a,j,b].
+      Tensor w2 = Tensor::zeros(Shape{r2, r1, kh, 1});
+      for (std::int64_t aa = 0; aa < r1; ++aa) {
+        for (std::int64_t j = 0; j < kh; ++j) {
+          for (std::int64_t b = 0; b < r2; ++b) {
+            w2.data()[(b * r1 + aa) * kh + j] = f.g2.data()[(aa * kh + j) * r2 + b];
+          }
+        }
+      }
+      const ValueId v2 = out.conv2d_full(v1, std::move(w2), zero_bias(r2), a.stride_h, 1, a.pad_h,
+                                         0, conv.name + ".core_h");
+      out.node(v2).provenance = Provenance::kCore;
+      // 1×Kw core: weight [r3, r2, 1, Kw] with w[c,b,0,j] = g3[b,j,c].
+      Tensor w3 = Tensor::zeros(Shape{r3, r2, 1, kw});
+      for (std::int64_t b = 0; b < r2; ++b) {
+        for (std::int64_t j = 0; j < kw; ++j) {
+          for (std::int64_t c = 0; c < r3; ++c) {
+            w3.data()[(c * r2 + b) * kw + j] = f.g3.data()[(b * kw + j) * r3 + c];
+          }
+        }
+      }
+      const ValueId v3 = out.conv2d_full(v2, std::move(w3), zero_bias(r3), 1, a.stride_w, 0,
+                                         a.pad_w, conv.name + ".core_w");
+      out.node(v3).provenance = Provenance::kCore;
+      // g4 is [r3, Cout]; lconv weight wants [Cout, r3, 1, 1].
+      const ValueId v4 = out.conv2d(v3, matrix_to_fconv_weight(f.g4), bias.clone(), 1, 0,
+                                    conv.name + ".lconv");
+      out.node(v4).provenance = Provenance::kLconv;
+      return v4;
+    }
+  }
+  TEMCO_FAIL() << "unhandled decomposition method";
+}
+
+}  // namespace
+
+std::int64_t rank_for(std::int64_t channels, double ratio) {
+  return std::max<std::int64_t>(1, std::llround(ratio * static_cast<double>(channels)));
+}
+
+DecomposeResult decompose(const ir::Graph& graph, const DecomposeOptions& options) {
+  graph.verify();  // shapes must be inferred: original FLOPs are recorded below
+  DecomposeResult result;
+  result.weight_bytes_before = graph.total_weight_bytes();
+
+  std::vector<ValueId> remap(graph.size(), ir::kInvalidValue);
+  for (const Node& node : graph.nodes()) {
+    if (eligible(node, options)) {
+      const ValueId x = remap[static_cast<std::size_t>(node.inputs[0])];
+      const ValueId lconv = emit_sequence(result.graph, node, x, options);
+      // Record the original conv's cost on the lconv for Algorithm 1's
+      // COMPUTE_THRESHOLD ("FLOPS of the corresponding original part").
+      result.graph.node(lconv).original_flops = graph.node_flops(node.id);
+      remap[static_cast<std::size_t>(node.id)] = lconv;
+      ++result.num_decomposed;
+      continue;
+    }
+    Node copy = node;
+    for (ValueId& in : copy.inputs) in = remap[static_cast<std::size_t>(in)];
+    remap[static_cast<std::size_t>(node.id)] = result.graph.append(std::move(copy));
+  }
+
+  std::vector<ValueId> outputs;
+  outputs.reserve(graph.outputs().size());
+  for (const ValueId out : graph.outputs()) {
+    outputs.push_back(remap[static_cast<std::size_t>(out)]);
+  }
+  result.graph.set_outputs(std::move(outputs));
+  result.graph.infer_shapes();
+  result.graph.verify();
+  result.weight_bytes_after = result.graph.total_weight_bytes();
+  TEMCO_INFO() << "decomposed " << result.num_decomposed << " convolutions; weights "
+               << result.weight_bytes_before << " -> " << result.weight_bytes_after << " bytes";
+  return result;
+}
+
+}  // namespace temco::decomp

@@ -1,0 +1,46 @@
+// Graph rewrite: replace convolutions with decomposed convolution sequences.
+//
+// This implements the *baseline* the paper optimizes: the model families are
+// Tucker/CP/TT-decomposed (ratio 0.1 by default, matching §4.1), producing
+// fconv → core(s) → lconv sequences whose internal tensors are the "reduced
+// tensors" TeMCO keeps alive.  Provenance tags are attached for testing; the
+// TeMCO passes themselves only use the structural IsLConv test.
+#pragma once
+
+#include <cstdint>
+
+#include "ir/graph.hpp"
+
+namespace temco::decomp {
+
+enum class Method : std::uint8_t { kTucker, kCp, kTt };
+
+struct DecomposeOptions {
+  Method method = Method::kTucker;
+  /// Rank / channel ratio: rank(C) = max(1, round(ratio · C)).
+  double ratio = 0.1;
+  /// Convolutions with fewer channels than this are left alone.  The paper
+  /// decomposes every spatial conv (including RGB stems), so the default is
+  /// permissive; raise it to protect narrow layers.
+  std::int64_t min_channels = 2;
+  int hooi_iterations = 1;  ///< Tucker refinement sweeps
+  int cp_iterations = 20;   ///< CP-ALS sweeps
+  std::uint64_t seed = 0x7e3c0;
+};
+
+struct DecomposeResult {
+  ir::Graph graph;
+  int num_decomposed = 0;       ///< convolutions replaced by sequences
+  std::int64_t weight_bytes_before = 0;
+  std::int64_t weight_bytes_after = 0;
+};
+
+/// Returns a new graph where every eligible kConv2d (spatial kernel, enough
+/// channels) is replaced by its decomposed sequence; everything else is
+/// copied verbatim.  Shapes are re-inferred on the result.
+DecomposeResult decompose(const ir::Graph& graph, const DecomposeOptions& options = {});
+
+/// The rank the ratio policy assigns to a channel count.
+std::int64_t rank_for(std::int64_t channels, double ratio);
+
+}  // namespace temco::decomp

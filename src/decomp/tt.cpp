@@ -1,0 +1,110 @@
+#include "decomp/tt.hpp"
+
+#include <algorithm>
+
+#include "linalg/matmul.hpp"
+#include "linalg/svd.hpp"
+
+namespace temco::decomp {
+
+namespace {
+
+/// Permutes W[Cout, Cin, Kh, Kw] to the TT ordering [Cin, Kh, Kw, Cout].
+Tensor permute_to_tt(const Tensor& w) {
+  const std::int64_t c_out = w.shape()[0];
+  const std::int64_t c_in = w.shape()[1];
+  const std::int64_t kh = w.shape()[2];
+  const std::int64_t kw = w.shape()[3];
+  Tensor out = Tensor::zeros(Shape{c_in, kh, kw, c_out});
+  const float* pw = w.data();
+  float* po = out.data();
+  for (std::int64_t co = 0; co < c_out; ++co) {
+    for (std::int64_t ci = 0; ci < c_in; ++ci) {
+      for (std::int64_t a = 0; a < kh; ++a) {
+        for (std::int64_t b = 0; b < kw; ++b) {
+          po[((ci * kh + a) * kw + b) * c_out + co] = pw[((co * c_in + ci) * kh + a) * kw + b];
+        }
+      }
+    }
+  }
+  return out;
+}
+
+/// B = diag(σ)·Vᵀ, the "remainder" carried to the next TT-SVD step.
+Tensor sigma_vt(const linalg::TruncatedSvd& svd) {
+  const std::int64_t r = svd.u.shape()[1];
+  const std::int64_t n = svd.v.shape()[0];
+  Tensor b = Tensor::zeros(Shape{r, n});
+  for (std::int64_t i = 0; i < r; ++i) {
+    const float s = static_cast<float>(svd.sigma[static_cast<std::size_t>(i)]);
+    for (std::int64_t j = 0; j < n; ++j) b.at(i, j) = s * svd.v.at(j, i);
+  }
+  return b;
+}
+
+}  // namespace
+
+TtFactors tt_decompose(const Tensor& weight, TtRanks ranks) {
+  TEMCO_CHECK(weight.shape().rank() == 4);
+  const std::int64_t c_out = weight.shape()[0];
+  const std::int64_t c_in = weight.shape()[1];
+  const std::int64_t kh = weight.shape()[2];
+  const std::int64_t kw = weight.shape()[3];
+
+  const Tensor t = permute_to_tt(weight);  // [Cin, Kh, Kw, Cout]
+
+  // Step 1: split off Cin.
+  const std::int64_t r1 = std::clamp<std::int64_t>(ranks.r1, 1, std::min(c_in, kh * kw * c_out));
+  const auto svd1 = linalg::truncated_svd(t.reshaped(Shape{c_in, kh * kw * c_out}), r1);
+  TtFactors f;
+  f.g1 = svd1.u;  // [Cin, r1]
+  Tensor rest = sigma_vt(svd1);  // [r1, Kh*Kw*Cout]
+
+  // Step 2: split off Kh.
+  const std::int64_t r2 = std::clamp<std::int64_t>(ranks.r2, 1, std::min(r1 * kh, kw * c_out));
+  const auto svd2 = linalg::truncated_svd(rest.reshaped(Shape{r1 * kh, kw * c_out}), r2);
+  f.g2 = svd2.u.reshaped(Shape{r1, kh, r2});
+  rest = sigma_vt(svd2);  // [r2, Kw*Cout]
+
+  // Step 3: split off Kw; the remainder is the last core.
+  const std::int64_t r3 = std::clamp<std::int64_t>(ranks.r3, 1, std::min(r2 * kw, c_out));
+  const auto svd3 = linalg::truncated_svd(rest.reshaped(Shape{r2 * kw, c_out}), r3);
+  f.g3 = svd3.u.reshaped(Shape{r2, kw, r3});
+  f.g4 = sigma_vt(svd3);  // [r3, Cout]
+  return f;
+}
+
+Tensor tt_reconstruct(const TtFactors& f) {
+  const std::int64_t c_in = f.g1.shape()[0];
+  const std::int64_t r1 = f.g1.shape()[1];
+  const std::int64_t kh = f.g2.shape()[1];
+  const std::int64_t r2 = f.g2.shape()[2];
+  const std::int64_t kw = f.g3.shape()[1];
+  const std::int64_t r3 = f.g3.shape()[2];
+  const std::int64_t c_out = f.g4.shape()[1];
+
+  // Chain the cores left to right: [Cin, r1]·[r1, Kh·r2] → ... → [Cin·Kh·Kw, Cout].
+  Tensor acc = linalg::matmul(f.g1, f.g2.reshaped(Shape{r1, kh * r2}));  // [Cin, Kh*r2]
+  acc = acc.reshaped(Shape{c_in * kh, r2});
+  acc = linalg::matmul(acc, f.g3.reshaped(Shape{r2, kw * r3}));  // [Cin*Kh, Kw*r3]
+  acc = acc.reshaped(Shape{c_in * kh * kw, r3});
+  acc = linalg::matmul(acc, f.g4);  // [Cin*Kh*Kw, Cout]
+
+  // Permute back to [Cout, Cin, Kh, Kw].
+  Tensor w = Tensor::zeros(Shape{c_out, c_in, kh, kw});
+  const float* pa = acc.data();
+  float* pw = w.data();
+  for (std::int64_t ci = 0; ci < c_in; ++ci) {
+    for (std::int64_t a = 0; a < kh; ++a) {
+      for (std::int64_t b = 0; b < kw; ++b) {
+        const float* row = pa + ((ci * kh + a) * kw + b) * c_out;
+        for (std::int64_t co = 0; co < c_out; ++co) {
+          pw[((co * c_in + ci) * kh + a) * kw + b] = row[co];
+        }
+      }
+    }
+  }
+  return w;
+}
+
+}  // namespace temco::decomp

@@ -1,0 +1,36 @@
+// Tensor-Train decomposition of convolution weights (Oseledets 2011).
+//
+// The weight is permuted to [Cin, Kh, Kw, Cout] and factorized by sequential
+// truncated SVD into four cores, realized as the conv sequence
+//   fconv : 1×1 conv (Cin → r1) from G1
+//   core  : Kh×1 conv (r1 → r2) from G2 (stride_h/pad_h of the original)
+//   core  : 1×Kw conv (r2 → r3) from G3 (stride_w/pad_w of the original)
+//   lconv : 1×1 conv (r3 → Cout) from G4, carries the original bias
+#pragma once
+
+#include <cstdint>
+
+#include "tensor/tensor.hpp"
+
+namespace temco::decomp {
+
+struct TtRanks {
+  std::int64_t r1 = 1;
+  std::int64_t r2 = 1;
+  std::int64_t r3 = 1;
+};
+
+struct TtFactors {
+  Tensor g1;  ///< [Cin, r1]
+  Tensor g2;  ///< [r1, Kh, r2]
+  Tensor g3;  ///< [r2, Kw, r3]
+  Tensor g4;  ///< [r3, Cout]
+};
+
+/// TT-SVD with the given ranks (each clamped to the feasible maximum of its
+/// unfolding).
+TtFactors tt_decompose(const Tensor& weight, TtRanks ranks);
+
+Tensor tt_reconstruct(const TtFactors& factors);
+
+}  // namespace temco::decomp

@@ -1,0 +1,127 @@
+#include "decomp/tucker.hpp"
+
+#include <algorithm>
+
+#include "linalg/matmul.hpp"
+#include "linalg/svd.hpp"
+
+namespace temco::decomp {
+
+namespace {
+
+/// Mode-1 unfolding of W[Cout, Cin, Kh, Kw]: rows are input channels,
+/// columns run over (Cout, Kh, Kw).
+Tensor unfold_mode1(const Tensor& w) {
+  const std::int64_t c_out = w.shape()[0];
+  const std::int64_t c_in = w.shape()[1];
+  const std::int64_t kk = w.shape()[2] * w.shape()[3];
+  Tensor out = Tensor::zeros(Shape{c_in, c_out * kk});
+  const float* pw = w.data();
+  float* po = out.data();
+  for (std::int64_t co = 0; co < c_out; ++co) {
+    for (std::int64_t ci = 0; ci < c_in; ++ci) {
+      const float* src = pw + (co * c_in + ci) * kk;
+      float* dst = po + ci * (c_out * kk) + co * kk;
+      std::copy(src, src + kk, dst);
+    }
+  }
+  return out;
+}
+
+/// W ×₁ U_inᵀ: contracts input channels, producing [Cout, r_in, Kh, Kw].
+Tensor contract_mode1(const Tensor& w, const Tensor& u_in) {
+  const std::int64_t c_out = w.shape()[0];
+  const std::int64_t c_in = w.shape()[1];
+  const std::int64_t kh = w.shape()[2];
+  const std::int64_t kw = w.shape()[3];
+  const std::int64_t r_in = u_in.shape()[1];
+  const std::int64_t kk = kh * kw;
+  Tensor out = Tensor::zeros(Shape{c_out, r_in, kh, kw});
+  const float* pw = w.data();
+  const float* pu = u_in.data();
+  float* po = out.data();
+  for (std::int64_t co = 0; co < c_out; ++co) {
+    for (std::int64_t ci = 0; ci < c_in; ++ci) {
+      const float* src = pw + (co * c_in + ci) * kk;
+      const float* urow = pu + ci * r_in;
+      for (std::int64_t b = 0; b < r_in; ++b) {
+        const float coef = urow[b];
+        if (coef == 0.0f) continue;
+        float* dst = po + (co * r_in + b) * kk;
+        for (std::int64_t k = 0; k < kk; ++k) dst[k] += coef * src[k];
+      }
+    }
+  }
+  return out;
+}
+
+/// W ×₀ U_outᵀ: contracts output channels, producing [r_out, Cin, Kh, Kw].
+Tensor contract_mode0(const Tensor& w, const Tensor& u_out) {
+  const std::int64_t c_out = w.shape()[0];
+  const std::int64_t rest = w.shape()[1] * w.shape()[2] * w.shape()[3];
+  const std::int64_t r_out = u_out.shape()[1];
+  // Row-major W is already the mode-0 unfolding [Cout, rest].
+  Tensor result = linalg::matmul(linalg::transpose(u_out), w.reshaped(Shape{c_out, rest}));
+  return result.reshaped(Shape{r_out, w.shape()[1], w.shape()[2], w.shape()[3]});
+}
+
+}  // namespace
+
+TuckerFactors tucker2_decompose(const Tensor& weight, std::int64_t r_in, std::int64_t r_out,
+                                int hooi_iterations) {
+  TEMCO_CHECK(weight.shape().rank() == 4) << "tucker2 expects a conv weight";
+  const std::int64_t c_out = weight.shape()[0];
+  const std::int64_t c_in = weight.shape()[1];
+  r_out = std::clamp<std::int64_t>(r_out, 1, c_out);
+  r_in = std::clamp<std::int64_t>(r_in, 1, c_in);
+
+  const std::int64_t rest = c_in * weight.shape()[2] * weight.shape()[3];
+
+  // HOSVD initialization: leading singular vectors of each mode unfolding.
+  TuckerFactors f;
+  f.u_out = linalg::leading_left_singular_vectors(weight.reshaped(Shape{c_out, rest}), r_out);
+  f.u_in = linalg::leading_left_singular_vectors(unfold_mode1(weight), r_in);
+
+  // HOOI: alternate, each mode computed on the tensor already projected on
+  // the other mode's factor (strictly improves the fit per sweep).
+  for (int iter = 0; iter < hooi_iterations; ++iter) {
+    const Tensor projected_in = contract_mode1(weight, f.u_in);  // [Cout, r_in, Kh, Kw]
+    f.u_out = linalg::leading_left_singular_vectors(
+        projected_in.reshaped(Shape{c_out, projected_in.numel() / c_out}), r_out);
+    const Tensor projected_out = contract_mode0(weight, f.u_out);  // [r_out, Cin, Kh, Kw]
+    f.u_in = linalg::leading_left_singular_vectors(unfold_mode1(projected_out), r_in);
+  }
+
+  // Core: project on both factors.
+  f.core = contract_mode1(contract_mode0(weight, f.u_out), f.u_in);
+  return f;
+}
+
+Tensor tucker2_reconstruct(const TuckerFactors& f) {
+  const std::int64_t r_out = f.core.shape()[0];
+  const std::int64_t r_in = f.core.shape()[1];
+  const std::int64_t kh = f.core.shape()[2];
+  const std::int64_t kw = f.core.shape()[3];
+  const std::int64_t c_out = f.u_out.shape()[0];
+  const std::int64_t c_in = f.u_in.shape()[0];
+  const std::int64_t kk = kh * kw;
+
+  // First expand input channels: T[a, ci, kh, kw] = Σ_b G[a,b,:,:]·U_in[ci,b].
+  Tensor t = Tensor::zeros(Shape{r_out, c_in, kh, kw});
+  for (std::int64_t a = 0; a < r_out; ++a) {
+    for (std::int64_t b = 0; b < r_in; ++b) {
+      const float* src = f.core.data() + (a * r_in + b) * kk;
+      for (std::int64_t ci = 0; ci < c_in; ++ci) {
+        const float coef = f.u_in.at(ci, b);
+        if (coef == 0.0f) continue;
+        float* dst = t.data() + (a * c_in + ci) * kk;
+        for (std::int64_t k = 0; k < kk; ++k) dst[k] += coef * src[k];
+      }
+    }
+  }
+  // Then expand output channels with a plain matmul on the mode-0 unfolding.
+  Tensor w = linalg::matmul(f.u_out, t.reshaped(Shape{r_out, c_in * kk}));
+  return w.reshaped(Shape{c_out, c_in, kh, kw});
+}
+
+}  // namespace temco::decomp

@@ -1,0 +1,28 @@
+// Tucker-2 decomposition of convolution weights (Tucker 1966; the baseline
+// scheme the paper evaluates, following Kim et al.'s conv factorization).
+//
+// W[Cout, Cin, Kh, Kw] ≈ U_out ×₀ (G ×₁ U_in):
+//   fconv : 1×1 conv with U_inᵀ   (Cin → r_in)
+//   core  : Kh×Kw conv with G     (r_in → r_out), original stride/pad
+//   lconv : 1×1 conv with U_out   (r_out → Cout), carries the original bias
+#pragma once
+
+#include "tensor/tensor.hpp"
+
+namespace temco::decomp {
+
+struct TuckerFactors {
+  Tensor u_in;   ///< [Cin, r_in], orthonormal columns
+  Tensor core;   ///< [r_out, r_in, Kh, Kw]
+  Tensor u_out;  ///< [Cout, r_out], orthonormal columns
+};
+
+/// HOSVD factors with `hooi_iterations` rounds of HOOI refinement (0 = plain
+/// HOSVD).  Ranks are clamped to the corresponding mode sizes.
+TuckerFactors tucker2_decompose(const Tensor& weight, std::int64_t r_in, std::int64_t r_out,
+                                int hooi_iterations = 1);
+
+/// Multiplies the factors back into a full [Cout, Cin, Kh, Kw] weight.
+Tensor tucker2_reconstruct(const TuckerFactors& factors);
+
+}  // namespace temco::decomp

@@ -1,0 +1,62 @@
+#include "ir/dot.hpp"
+
+#include <sstream>
+
+#include "support/bytes.hpp"
+
+namespace temco::ir {
+
+namespace {
+
+const char* fill_color(const Node& node) {
+  if (node.kind == OpKind::kFusedConvActConv) return "#c6e2ff";  // fused: light blue
+  switch (node.provenance) {
+    case Provenance::kFconv: return "#d9f2d9";  // green family for the sequence
+    case Provenance::kCore: return "#b8e0b8";
+    case Provenance::kLconv: return "#8fce8f";
+    case Provenance::kNone: break;
+  }
+  if (node.kind == OpKind::kInput) return "#f2f2f2";
+  return "#ffffff";
+}
+
+/// Escapes the few characters that break DOT double-quoted strings.
+std::string escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string to_dot(const Graph& graph, const DotOptions& options) {
+  std::ostringstream os;
+  os << "digraph temco {\n  rankdir=TB;\n  node [shape=box, style=filled, fontsize=10];\n";
+  for (const Node& node : graph.nodes()) {
+    os << "  n" << node.id << " [label=\"" << escape(node.name) << "\\n"
+       << op_kind_name(node.kind);
+    if (options.show_shapes && node.out_shape.rank() > 0) {
+      os << " " << escape(node.out_shape.to_string());
+    }
+    if (options.show_weights && node.weight_bytes() > 0) {
+      os << "\\nw: " << format_bytes(static_cast<std::uint64_t>(node.weight_bytes()));
+    }
+    os << "\"";
+    if (options.color_provenance) os << ", fillcolor=\"" << fill_color(node) << "\"";
+    if (graph.is_output(node.id)) os << ", penwidth=2";
+    os << "];\n";
+  }
+  for (const Node& node : graph.nodes()) {
+    for (const ValueId in : node.inputs) {
+      os << "  n" << in << " -> n" << node.id << ";\n";
+    }
+  }
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace temco::ir

@@ -1,0 +1,23 @@
+// Graphviz export for inference graphs.
+//
+// Debug tooling: `to_dot(graph)` renders the SSA list as a DAG with op
+// kinds, shapes, weight sizes, and decomposition provenance color-coding.
+// Pipe into `dot -Tsvg` to inspect what a pass did.
+#pragma once
+
+#include <string>
+
+#include "ir/graph.hpp"
+
+namespace temco::ir {
+
+struct DotOptions {
+  bool show_shapes = true;
+  bool show_weights = true;
+  /// Color nodes by Provenance (fconv/core/lconv) and highlight fused kernels.
+  bool color_provenance = true;
+};
+
+std::string to_dot(const Graph& graph, const DotOptions& options = {});
+
+}  // namespace temco::ir

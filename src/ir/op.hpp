@@ -1,0 +1,70 @@
+// Operator vocabulary of the graph IR.
+//
+// The IR models inference graphs the way §2.2 of the paper accounts for them:
+// a linear, SSA-ordered list of tensor-producing nodes.  The operator set is
+// exactly what the evaluated model families (AlexNet, VGG, ResNet, DenseNet,
+// UNet) and the TeMCO rewrites need — nothing speculative.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace temco::ir {
+
+enum class OpKind : std::uint8_t {
+  kInput,            ///< graph input placeholder (no computation)
+  kConv2d,           ///< dense 2-D convolution, weights [Cout, Cin, Kh, Kw] + bias [Cout]
+  kDepthwiseConv2d,  ///< per-channel convolution, weights [C, 1, Kh, Kw] + bias [C]
+  kRelu,             ///< max(x, 0)
+  kSilu,             ///< x · sigmoid(x)
+  kPool,             ///< max/avg pooling with kernel/stride attrs
+  kGlobalAvgPool,    ///< NCHW -> NC11 spatial mean
+  kUpsample,         ///< nearest-neighbour upsampling by an integer factor
+  kAdd,              ///< elementwise sum of 2+ same-shaped tensors
+  kConcat,           ///< channel-axis concatenation
+  kFlatten,          ///< NCHW -> N(C·H·W)
+  kLinear,           ///< fully connected, weights [out, in] + bias [out]
+  kSoftmax,          ///< row softmax over the last axis
+  kFusedConvActConv, ///< TeMCO fused lconv → activation [→ pool] → fconv kernel
+};
+
+enum class ActKind : std::uint8_t { kRelu, kSilu };
+enum class PoolKind : std::uint8_t { kMax, kAvg };
+
+/// Provenance tag set by the decomposition pass; the TeMCO passes themselves
+/// only use the *structural* IsLConv test from Algorithm 2 — provenance exists
+/// so tests can assert the structural test agrees with ground truth.
+enum class Provenance : std::uint8_t {
+  kNone,
+  kFconv,  ///< first 1×1 of a decomposed sequence (reduces channels)
+  kCore,   ///< core convolution(s) of a decomposed sequence
+  kLconv,  ///< last 1×1 of a decomposed sequence (restores channels)
+};
+
+/// Per-node attributes.  A single aggregate keeps the IR simple; each op kind
+/// reads only its documented subset and shape inference validates the rest.
+struct OpAttrs {
+  // kConv2d / kDepthwiseConv2d (kernel size comes from the weight tensor)
+  std::int64_t stride_h = 1;
+  std::int64_t stride_w = 1;
+  std::int64_t pad_h = 0;
+  std::int64_t pad_w = 0;
+
+  // kPool
+  PoolKind pool_kind = PoolKind::kMax;
+  std::int64_t pool_kh = 2;
+  std::int64_t pool_kw = 2;
+  std::int64_t pool_sh = 2;
+  std::int64_t pool_sw = 2;
+
+  // kUpsample
+  std::int64_t upsample_factor = 2;
+
+  // kFusedConvActConv
+  ActKind act = ActKind::kRelu;
+  bool fused_has_pool = false;  ///< when true, pool_* attrs describe the fused pool
+};
+
+std::string_view op_kind_name(OpKind kind);
+
+}  // namespace temco::ir

@@ -1,0 +1,187 @@
+#include "ir/serialize.hpp"
+
+#include <cstring>
+#include <fstream>
+#include <limits>
+
+namespace temco::ir {
+
+namespace {
+
+constexpr char kMagic[4] = {'T', 'M', 'C', 'O'};
+constexpr std::uint32_t kVersion = 1;
+
+// ---- primitive writers/readers (little-endian native assumed; the format
+// is for same-machine deploy artifacts, not cross-platform interchange) ----
+
+template <typename T>
+void write_pod(std::ostream& out, const T& value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
+  TEMCO_CHECK(out.good()) << "write failed";
+}
+
+template <typename T>
+T read_pod(std::istream& in) {
+  T value{};
+  in.read(reinterpret_cast<char*>(&value), sizeof(T));
+  TEMCO_CHECK(in.good()) << "truncated graph file";
+  return value;
+}
+
+void write_string(std::ostream& out, const std::string& s) {
+  TEMCO_CHECK(s.size() <= std::numeric_limits<std::uint32_t>::max());
+  write_pod(out, static_cast<std::uint32_t>(s.size()));
+  out.write(s.data(), static_cast<std::streamsize>(s.size()));
+  TEMCO_CHECK(out.good()) << "write failed";
+}
+
+std::string read_string(std::istream& in) {
+  const auto size = read_pod<std::uint32_t>(in);
+  TEMCO_CHECK(size <= (1u << 20)) << "implausible string length " << size;
+  std::string s(size, '\0');
+  in.read(s.data(), size);
+  TEMCO_CHECK(in.good()) << "truncated graph file";
+  return s;
+}
+
+void write_attrs(std::ostream& out, const OpAttrs& a) {
+  write_pod(out, a.stride_h);
+  write_pod(out, a.stride_w);
+  write_pod(out, a.pad_h);
+  write_pod(out, a.pad_w);
+  write_pod(out, static_cast<std::uint8_t>(a.pool_kind));
+  write_pod(out, a.pool_kh);
+  write_pod(out, a.pool_kw);
+  write_pod(out, a.pool_sh);
+  write_pod(out, a.pool_sw);
+  write_pod(out, a.upsample_factor);
+  write_pod(out, static_cast<std::uint8_t>(a.act));
+  write_pod(out, static_cast<std::uint8_t>(a.fused_has_pool ? 1 : 0));
+}
+
+OpAttrs read_attrs(std::istream& in) {
+  OpAttrs a;
+  a.stride_h = read_pod<std::int64_t>(in);
+  a.stride_w = read_pod<std::int64_t>(in);
+  a.pad_h = read_pod<std::int64_t>(in);
+  a.pad_w = read_pod<std::int64_t>(in);
+  a.pool_kind = static_cast<PoolKind>(read_pod<std::uint8_t>(in));
+  a.pool_kh = read_pod<std::int64_t>(in);
+  a.pool_kw = read_pod<std::int64_t>(in);
+  a.pool_sh = read_pod<std::int64_t>(in);
+  a.pool_sw = read_pod<std::int64_t>(in);
+  a.upsample_factor = read_pod<std::int64_t>(in);
+  a.act = static_cast<ActKind>(read_pod<std::uint8_t>(in));
+  a.fused_has_pool = read_pod<std::uint8_t>(in) != 0;
+  return a;
+}
+
+void write_tensor(std::ostream& out, const Tensor& t) {
+  write_pod(out, static_cast<std::uint32_t>(t.shape().rank()));
+  for (std::size_t i = 0; i < t.shape().rank(); ++i) write_pod(out, t.shape()[i]);
+  out.write(reinterpret_cast<const char*>(t.data()),
+            static_cast<std::streamsize>(t.bytes()));
+  TEMCO_CHECK(out.good()) << "write failed";
+}
+
+Tensor read_tensor(std::istream& in) {
+  const auto rank = read_pod<std::uint32_t>(in);
+  TEMCO_CHECK(rank <= 8) << "implausible tensor rank " << rank;
+  std::vector<std::int64_t> dims;
+  dims.reserve(rank);
+  for (std::uint32_t i = 0; i < rank; ++i) {
+    const auto d = read_pod<std::int64_t>(in);
+    TEMCO_CHECK(d >= 0 && d <= (std::int64_t{1} << 32)) << "implausible dimension " << d;
+    dims.push_back(d);
+  }
+  Tensor t = Tensor::zeros(Shape(std::move(dims)));
+  in.read(reinterpret_cast<char*>(t.data()), static_cast<std::streamsize>(t.bytes()));
+  TEMCO_CHECK(in.good()) << "truncated graph file";
+  return t;
+}
+
+}  // namespace
+
+void save_graph(const Graph& graph, std::ostream& out) {
+  graph.verify();
+  out.write(kMagic, sizeof(kMagic));
+  write_pod(out, kVersion);
+  write_pod(out, static_cast<std::uint32_t>(graph.size()));
+  for (const Node& node : graph.nodes()) {
+    write_pod(out, static_cast<std::uint8_t>(node.kind));
+    write_pod(out, static_cast<std::uint8_t>(node.provenance));
+    write_pod(out, node.original_flops);
+    write_string(out, node.name);
+    write_pod(out, static_cast<std::uint32_t>(node.inputs.size()));
+    for (const ValueId in : node.inputs) write_pod(out, in);
+    write_attrs(out, node.attrs);
+    // Input nodes carry their shape in out_shape (no weights encode it).
+    if (node.kind == OpKind::kInput) {
+      write_pod(out, static_cast<std::uint32_t>(node.out_shape.rank()));
+      for (std::size_t i = 0; i < node.out_shape.rank(); ++i) {
+        write_pod(out, node.out_shape[i]);
+      }
+    }
+    write_pod(out, static_cast<std::uint32_t>(node.weights.size()));
+    for (const Tensor& w : node.weights) write_tensor(out, w);
+  }
+  write_pod(out, static_cast<std::uint32_t>(graph.outputs().size()));
+  for (const ValueId o : graph.outputs()) write_pod(out, o);
+}
+
+Graph load_graph(std::istream& in) {
+  char magic[4];
+  in.read(magic, sizeof(magic));
+  TEMCO_CHECK(in.good() && std::memcmp(magic, kMagic, 4) == 0) << "not a TeMCO graph file";
+  const auto version = read_pod<std::uint32_t>(in);
+  TEMCO_CHECK(version == kVersion) << "unsupported graph file version " << version;
+
+  Graph graph;
+  const auto node_count = read_pod<std::uint32_t>(in);
+  TEMCO_CHECK(node_count <= (1u << 24)) << "implausible node count " << node_count;
+  for (std::uint32_t i = 0; i < node_count; ++i) {
+    Node node;
+    node.kind = static_cast<OpKind>(read_pod<std::uint8_t>(in));
+    node.provenance = static_cast<Provenance>(read_pod<std::uint8_t>(in));
+    node.original_flops = read_pod<std::int64_t>(in);
+    node.name = read_string(in);
+    const auto input_count = read_pod<std::uint32_t>(in);
+    TEMCO_CHECK(input_count <= node_count) << "implausible input count";
+    for (std::uint32_t j = 0; j < input_count; ++j) node.inputs.push_back(read_pod<ValueId>(in));
+    node.attrs = read_attrs(in);
+    if (node.kind == OpKind::kInput) {
+      const auto rank = read_pod<std::uint32_t>(in);
+      TEMCO_CHECK(rank <= 8) << "implausible input rank";
+      std::vector<std::int64_t> dims;
+      for (std::uint32_t j = 0; j < rank; ++j) dims.push_back(read_pod<std::int64_t>(in));
+      node.out_shape = Shape(std::move(dims));
+    }
+    const auto weight_count = read_pod<std::uint32_t>(in);
+    TEMCO_CHECK(weight_count <= 8) << "implausible weight count";
+    for (std::uint32_t j = 0; j < weight_count; ++j) node.weights.push_back(read_tensor(in));
+    graph.append(std::move(node));
+  }
+  const auto output_count = read_pod<std::uint32_t>(in);
+  TEMCO_CHECK(output_count >= 1 && output_count <= node_count) << "implausible output count";
+  std::vector<ValueId> outputs;
+  for (std::uint32_t i = 0; i < output_count; ++i) outputs.push_back(read_pod<ValueId>(in));
+  graph.set_outputs(std::move(outputs));
+  graph.infer_shapes();
+  graph.verify();
+  return graph;
+}
+
+void save_graph_file(const Graph& graph, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  TEMCO_CHECK(out.is_open()) << "cannot open " << path << " for writing";
+  save_graph(graph, out);
+  TEMCO_CHECK(out.good()) << "write to " << path << " failed";
+}
+
+Graph load_graph_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  TEMCO_CHECK(in.is_open()) << "cannot open " << path;
+  return load_graph(in);
+}
+
+}  // namespace temco::ir

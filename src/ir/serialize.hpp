@@ -1,0 +1,33 @@
+// Binary graph serialization.
+//
+// Lets a compiled (decomposed and/or TeMCO-optimized) graph be saved with
+// its weights and reloaded for inference without re-running decomposition —
+// the deployment path a downstream user of this library actually needs.
+//
+// Format (little-endian, version-tagged):
+//   "TMCO" u32_version
+//   u32 node_count
+//   per node: u8 kind, u8 provenance, i64 original_flops, string name,
+//             u32 input_count + i32 inputs, packed OpAttrs,
+//             u32 weight_count + per weight (u32 rank + i64 dims + f32 data)
+//   u32 output_count + i32 outputs
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "ir/graph.hpp"
+
+namespace temco::ir {
+
+/// Writes `graph` (which must verify) to the stream.  Throws temco::Error on
+/// I/O failure.
+void save_graph(const Graph& graph, std::ostream& out);
+void save_graph_file(const Graph& graph, const std::string& path);
+
+/// Reads a graph written by save_graph; shapes are re-inferred and the
+/// result verified.  Throws temco::Error on malformed input.
+Graph load_graph(std::istream& in);
+Graph load_graph_file(const std::string& path);
+
+}  // namespace temco::ir

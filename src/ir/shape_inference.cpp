@@ -1,0 +1,195 @@
+// Shape inference and FLOP accounting.
+//
+// Shapes follow the framework conventions the paper assumes: convolutions
+// with symmetric zero padding and floor division, pooling without padding.
+// FLOPs count multiply–accumulates ×2 for compute-bearing ops and one pass
+// over the output for element-wise ops — the same currency Algorithm 1 uses
+// for its COMPUTE_THRESHOLD.
+#include "ir/graph.hpp"
+
+namespace temco::ir {
+
+namespace {
+
+std::int64_t conv_out_extent(std::int64_t in, std::int64_t kernel, std::int64_t stride,
+                             std::int64_t pad) {
+  const std::int64_t out = (in + 2 * pad - kernel) / stride + 1;
+  TEMCO_CHECK(out >= 1) << "degenerate conv output extent: in=" << in << " k=" << kernel
+                        << " s=" << stride << " p=" << pad;
+  return out;
+}
+
+std::int64_t pool_out_extent(std::int64_t in, std::int64_t kernel, std::int64_t stride) {
+  const std::int64_t out = (in - kernel) / stride + 1;
+  TEMCO_CHECK(out >= 1) << "degenerate pool output extent: in=" << in << " k=" << kernel
+                        << " s=" << stride;
+  return out;
+}
+
+}  // namespace
+
+Shape Graph::infer_node_shape(const Node& n) const {
+  auto in_shape = [&](std::size_t i) -> const Shape& {
+    TEMCO_CHECK(i < n.inputs.size()) << n.name << " missing input " << i;
+    return node(n.inputs[i]).out_shape;
+  };
+
+  switch (n.kind) {
+    case OpKind::kInput:
+      TEMCO_CHECK(n.out_shape.rank() > 0) << "input node without a shape";
+      return n.out_shape;
+
+    case OpKind::kConv2d: {
+      const Shape& x = in_shape(0);
+      const Shape& w = n.weights.at(0).shape();
+      TEMCO_CHECK(x.rank() == 4) << n.name << ": conv input must be NCHW, got " << x;
+      TEMCO_CHECK(x[1] == w[1]) << n.name << ": input channels " << x[1]
+                                << " != weight in-channels " << w[1];
+      return Shape{x[0], w[0], conv_out_extent(x[2], w[2], n.attrs.stride_h, n.attrs.pad_h),
+                   conv_out_extent(x[3], w[3], n.attrs.stride_w, n.attrs.pad_w)};
+    }
+
+    case OpKind::kDepthwiseConv2d: {
+      const Shape& x = in_shape(0);
+      const Shape& w = n.weights.at(0).shape();
+      TEMCO_CHECK(x.rank() == 4 && x[1] == w[0])
+          << n.name << ": depthwise channels mismatch " << x << " vs " << w;
+      return Shape{x[0], w[0], conv_out_extent(x[2], w[2], n.attrs.stride_h, n.attrs.pad_h),
+                   conv_out_extent(x[3], w[3], n.attrs.stride_w, n.attrs.pad_w)};
+    }
+
+    case OpKind::kRelu:
+    case OpKind::kSilu:
+    case OpKind::kSoftmax:
+      return in_shape(0);
+
+    case OpKind::kPool: {
+      const Shape& x = in_shape(0);
+      TEMCO_CHECK(x.rank() == 4) << n.name << ": pool input must be NCHW";
+      return Shape{x[0], x[1], pool_out_extent(x[2], n.attrs.pool_kh, n.attrs.pool_sh),
+                   pool_out_extent(x[3], n.attrs.pool_kw, n.attrs.pool_sw)};
+    }
+
+    case OpKind::kGlobalAvgPool: {
+      const Shape& x = in_shape(0);
+      TEMCO_CHECK(x.rank() == 4);
+      return Shape{x[0], x[1], 1, 1};
+    }
+
+    case OpKind::kUpsample: {
+      const Shape& x = in_shape(0);
+      TEMCO_CHECK(x.rank() == 4);
+      const std::int64_t f = n.attrs.upsample_factor;
+      return Shape{x[0], x[1], x[2] * f, x[3] * f};
+    }
+
+    case OpKind::kAdd: {
+      const Shape& first = in_shape(0);
+      for (std::size_t i = 1; i < n.inputs.size(); ++i) {
+        TEMCO_CHECK(in_shape(i) == first)
+            << n.name << ": add operand " << i << " shape " << in_shape(i) << " != " << first;
+      }
+      return first;
+    }
+
+    case OpKind::kConcat: {
+      const Shape& first = in_shape(0);
+      TEMCO_CHECK(first.rank() == 4) << n.name << ": concat expects NCHW operands";
+      std::int64_t channels = first[1];
+      for (std::size_t i = 1; i < n.inputs.size(); ++i) {
+        const Shape& s = in_shape(i);
+        TEMCO_CHECK(s.rank() == 4 && s[0] == first[0] && s[2] == first[2] && s[3] == first[3])
+            << n.name << ": concat operand " << i << " shape " << s
+            << " incompatible with " << first;
+        channels += s[1];
+      }
+      return first.with_dim(1, channels);
+    }
+
+    case OpKind::kFlatten: {
+      const Shape& x = in_shape(0);
+      TEMCO_CHECK(x.rank() >= 2);
+      std::int64_t flat = 1;
+      for (std::size_t i = 1; i < x.rank(); ++i) flat *= x[i];
+      return Shape{x[0], flat};
+    }
+
+    case OpKind::kLinear: {
+      const Shape& x = in_shape(0);
+      const Shape& w = n.weights.at(0).shape();
+      TEMCO_CHECK(x.rank() == 2 && x[1] == w[1])
+          << n.name << ": linear input " << x << " vs weight " << w;
+      return Shape{x[0], w[0]};
+    }
+
+    case OpKind::kFusedConvActConv: {
+      const Shape& x = in_shape(0);
+      const Shape& w1 = n.weights.at(0).shape();
+      const Shape& w2 = n.weights.at(2).shape();
+      TEMCO_CHECK(x.rank() == 4 && x[1] == w1[1])
+          << n.name << ": fused input channels " << x << " vs lconv weight " << w1;
+      std::int64_t h = x[2];
+      std::int64_t w = x[3];
+      if (n.attrs.fused_has_pool) {
+        h = pool_out_extent(h, n.attrs.pool_kh, n.attrs.pool_sh);
+        w = pool_out_extent(w, n.attrs.pool_kw, n.attrs.pool_sw);
+      }
+      return Shape{x[0], w2[0], h, w};
+    }
+  }
+  TEMCO_FAIL() << "unhandled op kind";
+}
+
+std::int64_t Graph::node_flops(ValueId id) const {
+  const Node& n = node(id);
+  const Shape& out = n.out_shape;
+  switch (n.kind) {
+    case OpKind::kInput:
+      return 0;
+    case OpKind::kConv2d: {
+      const Shape& w = n.weights.at(0).shape();
+      return 2 * out.numel() * w[1] * w[2] * w[3];
+    }
+    case OpKind::kDepthwiseConv2d: {
+      const Shape& w = n.weights.at(0).shape();
+      return 2 * out.numel() * w[2] * w[3];
+    }
+    case OpKind::kLinear: {
+      const Shape& w = n.weights.at(0).shape();
+      return 2 * out.numel() * w[1];
+    }
+    case OpKind::kFusedConvActConv: {
+      // lconv runs at the pre-pool resolution, fconv at the output resolution.
+      const Shape& x = node(n.inputs[0]).out_shape;
+      const Shape& w1 = n.weights.at(0).shape();
+      const Shape& w2 = n.weights.at(2).shape();
+      const std::int64_t lconv = 2 * x[0] * w1[0] * x[2] * x[3] * w1[1];
+      const std::int64_t fconv = 2 * out.numel() * w2[1];
+      const std::int64_t act_pool = x[0] * w1[0] * x[2] * x[3];
+      return lconv + fconv + act_pool;
+    }
+    case OpKind::kAdd:
+      return out.numel() * static_cast<std::int64_t>(n.inputs.size() - 1);
+    case OpKind::kPool: {
+      return out.numel() * n.attrs.pool_kh * n.attrs.pool_kw;
+    }
+    case OpKind::kGlobalAvgPool:
+      return node(n.inputs[0]).out_shape.numel();
+    case OpKind::kRelu:
+    case OpKind::kSilu:
+    case OpKind::kSoftmax:
+    case OpKind::kUpsample:
+    case OpKind::kConcat:
+    case OpKind::kFlatten:
+      return out.numel();
+  }
+  TEMCO_FAIL() << "unhandled op kind";
+}
+
+std::int64_t Graph::total_flops() const {
+  std::int64_t total = 0;
+  for (const Node& n : nodes_) total += node_flops(n.id);
+  return total;
+}
+
+}  // namespace temco::ir

@@ -1,0 +1,174 @@
+// Convolution kernels: direct dense, 1×1 fast path, and depthwise.
+#include <algorithm>
+
+#include "kernels/kernels.hpp"
+#include "parallel/parallel_for.hpp"
+
+namespace temco::kernels {
+
+namespace {
+
+/// 1×1 stride-1 convolution: a per-pixel matrix multiply.  This is the hot
+/// path for decomposed models (fconv/lconv are all 1×1), so it streams whole
+/// spatial rows per channel pair.
+void conv1x1(const Tensor& x, const Tensor& w, const Tensor& b, Tensor& out) {
+  const std::int64_t n_batch = x.shape()[0];
+  const std::int64_t c_in = x.shape()[1];
+  const std::int64_t hw = x.shape()[2] * x.shape()[3];
+  const std::int64_t c_out = w.shape()[0];
+  const float* px = x.data();
+  const float* pw = w.data();
+  const float* pb = b.data();
+  float* po = out.data();
+
+  parallel_for_2d(
+      static_cast<std::size_t>(n_batch * c_out), static_cast<std::size_t>(hw),
+      [&](std::size_t task, std::size_t, std::size_t) {
+        const std::int64_t n = static_cast<std::int64_t>(task) / c_out;
+        const std::int64_t co = static_cast<std::int64_t>(task) % c_out;
+        float* orow = po + (n * c_out + co) * hw;
+        const float bias = pb[co];
+        for (std::int64_t i = 0; i < hw; ++i) orow[i] = bias;
+        const float* wrow = pw + co * c_in;
+        const float* xbase = px + n * c_in * hw;
+        for (std::int64_t ci = 0; ci < c_in; ++ci) {
+          const float coef = wrow[ci];
+          if (coef == 0.0f) continue;
+          const float* xrow = xbase + ci * hw;
+          for (std::int64_t i = 0; i < hw; ++i) orow[i] += coef * xrow[i];
+        }
+      });
+}
+
+}  // namespace
+
+void conv2d(const Tensor& x, const Tensor& w, const Tensor& b, std::int64_t stride_h,
+            std::int64_t stride_w, std::int64_t pad_h, std::int64_t pad_w, Tensor& out) {
+  const std::int64_t kh = w.shape()[2];
+  const std::int64_t kw = w.shape()[3];
+  TEMCO_CHECK(x.shape()[1] == w.shape()[1]) << "conv2d channel mismatch";
+  if (kh == 1 && kw == 1 && stride_h == 1 && stride_w == 1 && pad_h == 0 && pad_w == 0) {
+    conv1x1(x, w, b, out);
+    return;
+  }
+
+  const std::int64_t n_batch = x.shape()[0];
+  const std::int64_t c_in = x.shape()[1];
+  const std::int64_t h_in = x.shape()[2];
+  const std::int64_t w_in = x.shape()[3];
+  const std::int64_t c_out = out.shape()[1];
+  const std::int64_t h_out = out.shape()[2];
+  const std::int64_t w_out = out.shape()[3];
+  const float* px = x.data();
+  const float* pw = w.data();
+  const float* pb = b.data();
+  float* po = out.data();
+
+  // Parallelize over (batch, out-channel); each task owns a full output map,
+  // so no two tasks write the same element and accumulation order is fixed.
+  parallel_for_2d(
+      static_cast<std::size_t>(n_batch * c_out), static_cast<std::size_t>(h_out * w_out),
+      [&](std::size_t task, std::size_t, std::size_t) {
+        const std::int64_t n = static_cast<std::int64_t>(task) / c_out;
+        const std::int64_t co = static_cast<std::int64_t>(task) % c_out;
+        float* omap = po + (n * c_out + co) * h_out * w_out;
+        const float bias = pb[co];
+        for (std::int64_t i = 0; i < h_out * w_out; ++i) omap[i] = bias;
+        const float* xbase = px + n * c_in * h_in * w_in;
+        const float* wbase = pw + co * c_in * kh * kw;
+        for (std::int64_t ci = 0; ci < c_in; ++ci) {
+          const float* xmap = xbase + ci * h_in * w_in;
+          const float* wmap = wbase + ci * kh * kw;
+          for (std::int64_t r = 0; r < kh; ++r) {
+            for (std::int64_t s = 0; s < kw; ++s) {
+              const float coef = wmap[r * kw + s];
+              if (coef == 0.0f) continue;
+              for (std::int64_t oh = 0; oh < h_out; ++oh) {
+                const std::int64_t ih = oh * stride_h - pad_h + r;
+                if (ih < 0 || ih >= h_in) continue;
+                float* orow = omap + oh * w_out;
+                const float* xrow = xmap + ih * w_in;
+                // Clip the output column range so iw stays in bounds.
+                const std::int64_t base = s - pad_w;
+                std::int64_t ow_lo = 0;
+                if (base < 0) ow_lo = (-base + stride_w - 1) / stride_w;
+                std::int64_t ow_hi = w_out;
+                if (base + (w_out - 1) * stride_w >= w_in) {
+                  ow_hi = (w_in - base + stride_w - 1) / stride_w;
+                }
+                for (std::int64_t ow = ow_lo; ow < ow_hi; ++ow) {
+                  orow[ow] += coef * xrow[ow * stride_w + base];
+                }
+              }
+            }
+          }
+        }
+      });
+}
+
+void depthwise_conv2d(const Tensor& x, const Tensor& w, const Tensor& b, std::int64_t stride_h,
+                      std::int64_t stride_w, std::int64_t pad_h, std::int64_t pad_w, Tensor& out) {
+  const std::int64_t n_batch = x.shape()[0];
+  const std::int64_t channels = x.shape()[1];
+  TEMCO_CHECK(w.shape()[0] == channels && w.shape()[1] == 1) << "depthwise weight shape";
+  const std::int64_t h_in = x.shape()[2];
+  const std::int64_t w_in = x.shape()[3];
+  const std::int64_t kh = w.shape()[2];
+  const std::int64_t kw = w.shape()[3];
+  const std::int64_t h_out = out.shape()[2];
+  const std::int64_t w_out = out.shape()[3];
+  const float* px = x.data();
+  const float* pw = w.data();
+  const float* pb = b.data();
+  float* po = out.data();
+
+  parallel_for_2d(
+      static_cast<std::size_t>(n_batch * channels), static_cast<std::size_t>(h_out * w_out),
+      [&](std::size_t task, std::size_t, std::size_t) {
+        const std::int64_t n = static_cast<std::int64_t>(task) / channels;
+        const std::int64_t c = static_cast<std::int64_t>(task) % channels;
+        const float* xmap = px + (n * channels + c) * h_in * w_in;
+        const float* wmap = pw + c * kh * kw;
+        float* omap = po + (n * channels + c) * h_out * w_out;
+        const float bias = pb[c];
+        for (std::int64_t oh = 0; oh < h_out; ++oh) {
+          for (std::int64_t ow = 0; ow < w_out; ++ow) {
+            float acc = bias;
+            for (std::int64_t r = 0; r < kh; ++r) {
+              const std::int64_t ih = oh * stride_h - pad_h + r;
+              if (ih < 0 || ih >= h_in) continue;
+              for (std::int64_t s = 0; s < kw; ++s) {
+                const std::int64_t iw = ow * stride_w - pad_w + s;
+                if (iw < 0 || iw >= w_in) continue;
+                acc += wmap[r * kw + s] * xmap[ih * w_in + iw];
+              }
+            }
+            omap[oh * w_out + ow] = acc;
+          }
+        }
+      });
+}
+
+void linear(const Tensor& x, const Tensor& w, const Tensor& b, Tensor& out) {
+  const std::int64_t n_batch = x.shape()[0];
+  const std::int64_t in_features = x.shape()[1];
+  const std::int64_t out_features = w.shape()[0];
+  const float* px = x.data();
+  const float* pw = w.data();
+  const float* pb = b.data();
+  float* po = out.data();
+
+  parallel_for_2d(
+      static_cast<std::size_t>(n_batch * out_features), static_cast<std::size_t>(in_features),
+      [&](std::size_t task, std::size_t, std::size_t) {
+        const std::int64_t n = static_cast<std::int64_t>(task) / out_features;
+        const std::int64_t o = static_cast<std::int64_t>(task) % out_features;
+        const float* xrow = px + n * in_features;
+        const float* wrow = pw + o * in_features;
+        float acc = pb[o];
+        for (std::int64_t i = 0; i < in_features; ++i) acc += xrow[i] * wrow[i];
+        po[n * out_features + o] = acc;
+      });
+}
+
+}  // namespace temco::kernels

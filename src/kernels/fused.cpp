@@ -1,0 +1,150 @@
+// TeMCO fused lconv → activation [→ pool] → fconv kernel.
+//
+// CPU analog of the paper's Listing 1.  The CUDA version keeps the restored
+// (full-channel-width) values in shared-memory tiles; here each worker keeps
+// a row-granular scratch:
+//   restored row  : C′ × W   floats (lconv output + activation, one row)
+//   pooled row    : C′ × Wout floats (only when pooling is fused)
+// The full C′ × H × W intermediate never exists, which is exactly the memory
+// saving activation-layer fusion claims.  Accumulation per output element is
+// in a fixed order, so the fused kernel matches the unfused sequence
+// bit-for-bit up to float non-associativity of the *same* order — tests
+// compare with a small tolerance.
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "kernels/kernels.hpp"
+#include "parallel/parallel_for.hpp"
+
+namespace temco::kernels {
+
+namespace {
+
+inline float apply_act(float v, ir::ActKind act) {
+  switch (act) {
+    case ir::ActKind::kRelu: return v > 0.0f ? v : 0.0f;
+    case ir::ActKind::kSilu: return v / (1.0f + std::exp(-v));
+  }
+  return v;
+}
+
+}  // namespace
+
+std::int64_t fused_scratch_bytes(std::int64_t restored_channels, std::int64_t width,
+                                 bool has_pool, std::int64_t out_width) {
+  std::int64_t floats = restored_channels * width;
+  if (has_pool) floats += restored_channels * out_width;
+  return floats * static_cast<std::int64_t>(sizeof(float));
+}
+
+void fused_conv_act_conv(const Tensor& x, const Tensor& w1, const Tensor& b1, const Tensor& w2,
+                         const Tensor& b2, ir::ActKind act, bool has_pool, ir::PoolKind pool_kind,
+                         std::int64_t pool_k, std::int64_t pool_s, Tensor& out) {
+  const std::int64_t n_batch = x.shape()[0];
+  const std::int64_t c_reduced = x.shape()[1];   // C2: input reduced channels
+  const std::int64_t h_in = x.shape()[2];
+  const std::int64_t w_in = x.shape()[3];
+  const std::int64_t c_restored = w1.shape()[0]; // C′: restored width (never materialized fully)
+  const std::int64_t c_out = w2.shape()[0];      // C3: next sequence's reduced channels
+  const std::int64_t h_out = out.shape()[2];
+  const std::int64_t w_out = out.shape()[3];
+  TEMCO_CHECK(w1.shape()[1] == c_reduced && w2.shape()[1] == c_restored)
+      << "fused kernel weight shapes inconsistent";
+
+  const float* px = x.data();
+  const float* pw1 = w1.data();
+  const float* pb1 = b1.data();
+  const float* pw2 = w2.data();
+  const float* pb2 = b2.data();
+  float* po = out.data();
+
+  // One task per (batch, output row); scratch is reused across the rows a
+  // worker processes within its chunk.
+  parallel_for_ranges(
+      static_cast<std::size_t>(n_batch * h_out),
+      [&](std::size_t begin, std::size_t end) {
+        std::vector<float> restored(static_cast<std::size_t>(c_restored * w_in));
+        std::vector<float> pooled(
+            has_pool ? static_cast<std::size_t>(c_restored * w_out) : std::size_t{0});
+        for (std::size_t task = begin; task < end; ++task) {
+          const std::int64_t n = static_cast<std::int64_t>(task) / h_out;
+          const std::int64_t oh = static_cast<std::int64_t>(task) % h_out;
+          const float* xbase = px + n * c_reduced * h_in * w_in;
+
+          const std::int64_t rows = has_pool ? pool_k : 1;
+          if (has_pool) {
+            const float init = pool_kind == ir::PoolKind::kMax
+                                   ? -std::numeric_limits<float>::infinity()
+                                   : 0.0f;
+            std::fill(pooled.begin(), pooled.end(), init);
+          }
+
+          float* row_target = restored.data();
+          for (std::int64_t r = 0; r < rows; ++r) {
+            const std::int64_t ih = has_pool ? oh * pool_s + r : oh;
+            // --- lconv: restore one spatial row to C′ channels -------------
+            for (std::int64_t cp = 0; cp < c_restored; ++cp) {
+              float* rrow = row_target + cp * w_in;
+              const float bias = pb1[cp];
+              for (std::int64_t iw = 0; iw < w_in; ++iw) rrow[iw] = bias;
+            }
+            for (std::int64_t c2 = 0; c2 < c_reduced; ++c2) {
+              const float* xrow = xbase + (c2 * h_in + ih) * w_in;
+              const float* wcol = pw1 + c2;  // w1 is [C', C2] row-major
+              for (std::int64_t cp = 0; cp < c_restored; ++cp) {
+                const float coef = wcol[cp * c_reduced];
+                if (coef == 0.0f) continue;
+                float* rrow = row_target + cp * w_in;
+                for (std::int64_t iw = 0; iw < w_in; ++iw) rrow[iw] += coef * xrow[iw];
+              }
+            }
+            // --- activation -------------------------------------------------
+            for (std::int64_t i = 0; i < c_restored * w_in; ++i) {
+              row_target[i] = apply_act(row_target[i], act);
+            }
+            // --- pooling (horizontal within the row, vertical across rows) --
+            if (has_pool) {
+              for (std::int64_t cp = 0; cp < c_restored; ++cp) {
+                const float* rrow = row_target + cp * w_in;
+                float* prow = pooled.data() + cp * w_out;
+                for (std::int64_t ow = 0; ow < w_out; ++ow) {
+                  const float* win = rrow + ow * pool_s;
+                  if (pool_kind == ir::PoolKind::kMax) {
+                    float best = prow[ow];
+                    for (std::int64_t s = 0; s < pool_k; ++s) best = std::max(best, win[s]);
+                    prow[ow] = best;
+                  } else {
+                    float acc = prow[ow];
+                    for (std::int64_t s = 0; s < pool_k; ++s) acc += win[s];
+                    prow[ow] = acc;
+                  }
+                }
+              }
+            }
+          }
+
+          const float* fconv_in = has_pool ? pooled.data() : restored.data();
+          const float avg_scale =
+              has_pool && pool_kind == ir::PoolKind::kAvg
+                  ? 1.0f / static_cast<float>(pool_k * pool_k)
+                  : 1.0f;
+          // --- fconv: reduce the (pooled) restored row to C3 channels -------
+          for (std::int64_t c3 = 0; c3 < c_out; ++c3) {
+            float* orow = po + ((n * c_out + c3) * h_out + oh) * w_out;
+            const float* wrow = pw2 + c3 * c_restored;
+            for (std::int64_t ow = 0; ow < w_out; ++ow) orow[ow] = pb2[c3];
+            for (std::int64_t cp = 0; cp < c_restored; ++cp) {
+              const float coef = wrow[cp] * avg_scale;
+              if (coef == 0.0f) continue;
+              const float* frow = fconv_in + cp * w_out;
+              for (std::int64_t ow = 0; ow < w_out; ++ow) orow[ow] += coef * frow[ow];
+            }
+          }
+        }
+      },
+      ParallelOptions{.grain = 1});
+}
+
+}  // namespace temco::kernels

@@ -1,0 +1,71 @@
+// CPU kernel library.
+//
+// Every kernel writes into a caller-provided output tensor so the runtime —
+// not the kernel — owns allocation policy; that is what lets the tracking
+// allocator attribute every internal-tensor byte to a graph value.
+//
+// Kernels parallelize through the process thread pool.  Accumulation order
+// per output element is fixed, so results are bit-deterministic for a given
+// thread-count-independent decomposition of work (we parallelize only across
+// independent output elements).
+#pragma once
+
+#include <cstdint>
+
+#include "ir/op.hpp"
+#include "tensor/tensor.hpp"
+
+namespace temco::kernels {
+
+/// Dense 2-D convolution.  x: [N,C,H,W], w: [Cout,C,Kh,Kw], b: [Cout],
+/// out: [N,Cout,Hout,Wout] with symmetric zero padding.
+void conv2d(const Tensor& x, const Tensor& w, const Tensor& b, std::int64_t stride_h,
+            std::int64_t stride_w, std::int64_t pad_h, std::int64_t pad_w, Tensor& out);
+
+/// Depthwise convolution.  w: [C,1,Kh,Kw].
+void depthwise_conv2d(const Tensor& x, const Tensor& w, const Tensor& b, std::int64_t stride_h,
+                      std::int64_t stride_w, std::int64_t pad_h, std::int64_t pad_w, Tensor& out);
+
+void relu(const Tensor& x, Tensor& out);
+void silu(const Tensor& x, Tensor& out);
+
+/// Max/avg pooling without padding.
+void pool(const Tensor& x, ir::PoolKind kind, std::int64_t kh, std::int64_t kw, std::int64_t sh,
+          std::int64_t sw, Tensor& out);
+
+void global_avg_pool(const Tensor& x, Tensor& out);
+
+/// Nearest-neighbour upsampling by an integer factor.
+void upsample_nearest(const Tensor& x, std::int64_t factor, Tensor& out);
+
+/// Elementwise sum of all inputs (at least one).
+void add_n(const std::vector<const Tensor*>& xs, Tensor& out);
+
+/// Channel-axis concatenation of NCHW tensors.
+void concat_channels(const std::vector<const Tensor*>& xs, Tensor& out);
+
+/// Copies x into out reinterpreted as [N, C·H·W].
+void flatten(const Tensor& x, Tensor& out);
+
+/// Fully connected layer.  x: [N,F], w: [out,F], b: [out].
+void linear(const Tensor& x, const Tensor& w, const Tensor& b, Tensor& out);
+
+/// Row softmax over the last axis of a rank-2 tensor.
+void softmax(const Tensor& x, Tensor& out);
+
+/// TeMCO fused kernel (CPU analog of the paper's Listing 1):
+///   out = fconv(pool?(act(lconv(x))))
+/// where lconv/fconv are 1×1 convolutions with weights w1 [C′,C2,1,1] and
+/// w2 [C3,C′,1,1].  The full-width intermediate (C′×H×W) is never
+/// materialized — only a per-row scratch of C′·W floats exists at a time,
+/// mirroring the tile buffers the CUDA kernel keeps in shared memory.
+void fused_conv_act_conv(const Tensor& x, const Tensor& w1, const Tensor& b1, const Tensor& w2,
+                         const Tensor& b2, ir::ActKind act, bool has_pool, ir::PoolKind pool_kind,
+                         std::int64_t pool_k, std::int64_t pool_s, Tensor& out);
+
+/// Scratch bytes the fused kernel needs per worker thread (reported to the
+/// memory planner so the Fig. 10 accounting stays honest).
+std::int64_t fused_scratch_bytes(std::int64_t restored_channels, std::int64_t width,
+                                 bool has_pool, std::int64_t out_width);
+
+}  // namespace temco::kernels

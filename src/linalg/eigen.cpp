@@ -1,0 +1,95 @@
+#include "linalg/eigen.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace temco::linalg {
+
+namespace {
+
+/// Sum of squares of the strict upper triangle; the Jacobi convergence metric.
+double off_diagonal_norm_sq(const std::vector<double>& s, std::int64_t n) {
+  double acc = 0.0;
+  for (std::int64_t i = 0; i < n; ++i) {
+    for (std::int64_t j = i + 1; j < n; ++j) acc += s[i * n + j] * s[i * n + j];
+  }
+  return acc;
+}
+
+}  // namespace
+
+EighResult jacobi_eigh(const Tensor& a, int max_sweeps, double tol) {
+  TEMCO_CHECK(a.shape().rank() == 2 && a.shape()[0] == a.shape()[1])
+      << "jacobi_eigh needs a square matrix, got " << a.shape();
+  const std::int64_t n = a.shape()[0];
+
+  // Work in double for accuracy; the inputs are float Gram matrices whose
+  // conditioning can be poor (squared singular values).
+  std::vector<double> s(static_cast<std::size_t>(n * n));
+  for (std::int64_t i = 0; i < n * n; ++i) s[static_cast<std::size_t>(i)] = a.data()[i];
+  std::vector<double> v(static_cast<std::size_t>(n * n), 0.0);
+  for (std::int64_t i = 0; i < n; ++i) v[static_cast<std::size_t>(i * n + i)] = 1.0;
+
+  double frob_sq = 0.0;
+  for (const double x : s) frob_sq += x * x;
+  const double threshold_sq = tol * tol * std::max(frob_sq, 1e-300);
+
+  for (int sweep = 0; sweep < max_sweeps; ++sweep) {
+    if (off_diagonal_norm_sq(s, n) <= threshold_sq) break;
+    for (std::int64_t p = 0; p < n - 1; ++p) {
+      for (std::int64_t q = p + 1; q < n; ++q) {
+        const double apq = s[static_cast<std::size_t>(p * n + q)];
+        if (std::fabs(apq) < 1e-300) continue;
+        const double app = s[static_cast<std::size_t>(p * n + p)];
+        const double aqq = s[static_cast<std::size_t>(q * n + q)];
+        // Classic two-sided Jacobi rotation annihilating s[p][q].
+        const double theta = (aqq - app) / (2.0 * apq);
+        const double t = (theta >= 0 ? 1.0 : -1.0) /
+                         (std::fabs(theta) + std::sqrt(theta * theta + 1.0));
+        const double c = 1.0 / std::sqrt(t * t + 1.0);
+        const double sn = t * c;
+
+        for (std::int64_t k = 0; k < n; ++k) {
+          const double skp = s[static_cast<std::size_t>(k * n + p)];
+          const double skq = s[static_cast<std::size_t>(k * n + q)];
+          s[static_cast<std::size_t>(k * n + p)] = c * skp - sn * skq;
+          s[static_cast<std::size_t>(k * n + q)] = sn * skp + c * skq;
+        }
+        for (std::int64_t k = 0; k < n; ++k) {
+          const double spk = s[static_cast<std::size_t>(p * n + k)];
+          const double sqk = s[static_cast<std::size_t>(q * n + k)];
+          s[static_cast<std::size_t>(p * n + k)] = c * spk - sn * sqk;
+          s[static_cast<std::size_t>(q * n + k)] = sn * spk + c * sqk;
+        }
+        for (std::int64_t k = 0; k < n; ++k) {
+          const double vkp = v[static_cast<std::size_t>(k * n + p)];
+          const double vkq = v[static_cast<std::size_t>(k * n + q)];
+          v[static_cast<std::size_t>(k * n + p)] = c * vkp - sn * vkq;
+          v[static_cast<std::size_t>(k * n + q)] = sn * vkp + c * vkq;
+        }
+      }
+    }
+  }
+
+  // Sort eigenpairs by descending eigenvalue.
+  std::vector<std::int64_t> order(static_cast<std::size_t>(n));
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::int64_t x, std::int64_t y) {
+    return s[static_cast<std::size_t>(x * n + x)] > s[static_cast<std::size_t>(y * n + y)];
+  });
+
+  EighResult result;
+  result.values.resize(static_cast<std::size_t>(n));
+  result.vectors = Tensor::zeros(Shape{n, n});
+  for (std::int64_t j = 0; j < n; ++j) {
+    const std::int64_t src = order[static_cast<std::size_t>(j)];
+    result.values[static_cast<std::size_t>(j)] = s[static_cast<std::size_t>(src * n + src)];
+    for (std::int64_t i = 0; i < n; ++i) {
+      result.vectors.at(i, j) = static_cast<float>(v[static_cast<std::size_t>(i * n + src)]);
+    }
+  }
+  return result;
+}
+
+}  // namespace temco::linalg

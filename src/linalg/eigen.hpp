@@ -1,0 +1,27 @@
+// Symmetric eigendecomposition.
+//
+// The decomposition module needs leading eigenvectors of Gram matrices
+// (mode unfoldings of convolution weights).  Cyclic Jacobi is exact enough,
+// dependency-free, and robust for the few-hundred-dimensional symmetric
+// matrices that arise here.
+#pragma once
+
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace temco::linalg {
+
+struct EighResult {
+  /// Eigenvalues in descending order.
+  std::vector<double> values;
+  /// Row-major matrix whose COLUMN j is the eigenvector of values[j].
+  Tensor vectors;
+};
+
+/// Full eigendecomposition of a symmetric matrix via cyclic Jacobi rotations.
+/// `a` must be square and (numerically) symmetric; only the provided values
+/// are used, no symmetrization is applied.
+EighResult jacobi_eigh(const Tensor& a, int max_sweeps = 30, double tol = 1e-10);
+
+}  // namespace temco::linalg

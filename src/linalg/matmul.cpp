@@ -1,0 +1,80 @@
+#include "linalg/matmul.hpp"
+
+#include <cmath>
+
+#include "parallel/parallel_for.hpp"
+
+namespace temco::linalg {
+
+Tensor matmul(const Tensor& a, const Tensor& b) {
+  TEMCO_CHECK(a.shape().rank() == 2 && b.shape().rank() == 2);
+  const std::int64_t m = a.shape()[0];
+  const std::int64_t k = a.shape()[1];
+  const std::int64_t n = b.shape()[1];
+  TEMCO_CHECK(b.shape()[0] == k) << "matmul " << a.shape() << " x " << b.shape();
+
+  Tensor c = Tensor::zeros(Shape{m, n});
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* pc = c.data();
+
+  // i-k-j order: the inner loop streams a row of B and a row of C.
+  ParallelOptions options;
+  options.grain = static_cast<std::size_t>(std::max<std::int64_t>(1, 16384 / std::max<std::int64_t>(1, k * n)));
+  parallel_for(
+      static_cast<std::size_t>(m),
+      [&](std::size_t i) {
+        float* crow = pc + static_cast<std::int64_t>(i) * n;
+        const float* arow = pa + static_cast<std::int64_t>(i) * k;
+        for (std::int64_t kk = 0; kk < k; ++kk) {
+          const float av = arow[kk];
+          if (av == 0.0f) continue;
+          const float* brow = pb + kk * n;
+          for (std::int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+        }
+      },
+      options);
+  return c;
+}
+
+Tensor transpose(const Tensor& a) {
+  TEMCO_CHECK(a.shape().rank() == 2);
+  const std::int64_t m = a.shape()[0];
+  const std::int64_t n = a.shape()[1];
+  Tensor b = Tensor::zeros(Shape{n, m});
+  const float* pa = a.data();
+  float* pb = b.data();
+  for (std::int64_t i = 0; i < m; ++i) {
+    for (std::int64_t j = 0; j < n; ++j) pb[j * m + i] = pa[i * n + j];
+  }
+  return b;
+}
+
+Tensor gram(const Tensor& a) {
+  TEMCO_CHECK(a.shape().rank() == 2);
+  const std::int64_t m = a.shape()[0];
+  const std::int64_t n = a.shape()[1];
+  Tensor g = Tensor::zeros(Shape{m, m});
+  const float* pa = a.data();
+  float* pg = g.data();
+  parallel_for(static_cast<std::size_t>(m), [&](std::size_t iu) {
+    const std::int64_t i = static_cast<std::int64_t>(iu);
+    const float* ri = pa + i * n;
+    for (std::int64_t j = i; j < m; ++j) {
+      const float* rj = pa + j * n;
+      double acc = 0.0;
+      for (std::int64_t t = 0; t < n; ++t) acc += static_cast<double>(ri[t]) * rj[t];
+      pg[i * m + j] = static_cast<float>(acc);
+      pg[j * m + i] = static_cast<float>(acc);
+    }
+  });
+  return g;
+}
+
+double frobenius_norm(const Tensor& a) {
+  double acc = 0.0;
+  for (const float x : a.span()) acc += static_cast<double>(x) * x;
+  return std::sqrt(acc);
+}
+
+}  // namespace temco::linalg

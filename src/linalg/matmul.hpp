@@ -1,0 +1,24 @@
+// Dense matrix primitives over rank-2 Tensors.
+//
+// Sized for the decomposition workloads in this repo (hundreds of rows or
+// columns): cache-friendly loop orders and thread-pool parallelism, no
+// attempt at BLAS-level microkernels.
+#pragma once
+
+#include "tensor/tensor.hpp"
+
+namespace temco::linalg {
+
+/// C[m,n] = A[m,k] · B[k,n].
+Tensor matmul(const Tensor& a, const Tensor& b);
+
+/// B[n,m] = Aᵀ for A[m,n].
+Tensor transpose(const Tensor& a);
+
+/// G[m,m] = A · Aᵀ for A[m,n]; exploits symmetry (fills both triangles).
+Tensor gram(const Tensor& a);
+
+/// Frobenius norm.
+double frobenius_norm(const Tensor& a);
+
+}  // namespace temco::linalg

@@ -1,0 +1,77 @@
+#include "linalg/solve.hpp"
+
+#include <cmath>
+#include <vector>
+
+namespace temco::linalg {
+
+Tensor solve(Tensor a, Tensor b, double ridge) {
+  TEMCO_CHECK(a.shape().rank() == 2 && a.shape()[0] == a.shape()[1]);
+  TEMCO_CHECK(b.shape().rank() == 2 && b.shape()[0] == a.shape()[0]);
+  const std::int64_t n = a.shape()[0];
+  const std::int64_t m = b.shape()[1];
+
+  // Promote to double: ALS Gram matrices can be badly conditioned.
+  std::vector<double> lu(static_cast<std::size_t>(n * n));
+  std::vector<double> rhs(static_cast<std::size_t>(n * m));
+  for (std::int64_t i = 0; i < n * n; ++i) lu[static_cast<std::size_t>(i)] = a.data()[i];
+  for (std::int64_t i = 0; i < n * m; ++i) rhs[static_cast<std::size_t>(i)] = b.data()[i];
+  for (std::int64_t i = 0; i < n; ++i) lu[static_cast<std::size_t>(i * n + i)] += ridge;
+
+  for (std::int64_t col = 0; col < n; ++col) {
+    // Partial pivot.
+    std::int64_t pivot = col;
+    double best = std::fabs(lu[static_cast<std::size_t>(col * n + col)]);
+    for (std::int64_t row = col + 1; row < n; ++row) {
+      const double v = std::fabs(lu[static_cast<std::size_t>(row * n + col)]);
+      if (v > best) {
+        best = v;
+        pivot = row;
+      }
+    }
+    if (best < 1e-300) {
+      // Singular even with ridge; leave the column, solution component -> 0.
+      lu[static_cast<std::size_t>(col * n + col)] = 1.0;
+      for (std::int64_t j = 0; j < m; ++j) rhs[static_cast<std::size_t>(col * m + j)] = 0.0;
+      continue;
+    }
+    if (pivot != col) {
+      for (std::int64_t j = 0; j < n; ++j) {
+        std::swap(lu[static_cast<std::size_t>(col * n + j)],
+                  lu[static_cast<std::size_t>(pivot * n + j)]);
+      }
+      for (std::int64_t j = 0; j < m; ++j) {
+        std::swap(rhs[static_cast<std::size_t>(col * m + j)],
+                  rhs[static_cast<std::size_t>(pivot * m + j)]);
+      }
+    }
+    const double inv = 1.0 / lu[static_cast<std::size_t>(col * n + col)];
+    for (std::int64_t row = col + 1; row < n; ++row) {
+      const double factor = lu[static_cast<std::size_t>(row * n + col)] * inv;
+      if (factor == 0.0) continue;
+      for (std::int64_t j = col; j < n; ++j) {
+        lu[static_cast<std::size_t>(row * n + j)] -= factor * lu[static_cast<std::size_t>(col * n + j)];
+      }
+      for (std::int64_t j = 0; j < m; ++j) {
+        rhs[static_cast<std::size_t>(row * m + j)] -= factor * rhs[static_cast<std::size_t>(col * m + j)];
+      }
+    }
+  }
+
+  // Back substitution.
+  for (std::int64_t row = n - 1; row >= 0; --row) {
+    for (std::int64_t j = 0; j < m; ++j) {
+      double acc = rhs[static_cast<std::size_t>(row * m + j)];
+      for (std::int64_t k = row + 1; k < n; ++k) {
+        acc -= lu[static_cast<std::size_t>(row * n + k)] * rhs[static_cast<std::size_t>(k * m + j)];
+      }
+      rhs[static_cast<std::size_t>(row * m + j)] = acc / lu[static_cast<std::size_t>(row * n + row)];
+    }
+  }
+
+  Tensor x = Tensor::zeros(Shape{n, m});
+  for (std::int64_t i = 0; i < n * m; ++i) x.data()[i] = static_cast<float>(rhs[static_cast<std::size_t>(i)]);
+  return x;
+}
+
+}  // namespace temco::linalg

@@ -1,0 +1,14 @@
+// Small dense linear solves (used by CP-ALS normal equations).
+#pragma once
+
+#include "tensor/tensor.hpp"
+
+namespace temco::linalg {
+
+/// Solves A·X = B for X, where A is [n, n] and B is [n, m], via Gaussian
+/// elimination with partial pivoting.  A and B are taken by value (copied);
+/// near-singular systems get a tiny ridge added instead of failing, which is
+/// the standard ALS regularization.
+Tensor solve(Tensor a, Tensor b, double ridge = 1e-9);
+
+}  // namespace temco::linalg

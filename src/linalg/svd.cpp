@@ -1,0 +1,75 @@
+#include "linalg/svd.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "linalg/eigen.hpp"
+#include "linalg/matmul.hpp"
+
+namespace temco::linalg {
+
+namespace {
+
+/// Copies the first `r` columns of `m` ([rows, cols]) into a [rows, r] tensor.
+Tensor take_columns(const Tensor& m, std::int64_t r) {
+  const std::int64_t rows = m.shape()[0];
+  Tensor out = Tensor::zeros(Shape{rows, r});
+  for (std::int64_t i = 0; i < rows; ++i) {
+    for (std::int64_t j = 0; j < r; ++j) out.at(i, j) = m.at(i, j);
+  }
+  return out;
+}
+
+}  // namespace
+
+TruncatedSvd truncated_svd(const Tensor& a, std::int64_t r) {
+  TEMCO_CHECK(a.shape().rank() == 2);
+  const std::int64_t m = a.shape()[0];
+  const std::int64_t n = a.shape()[1];
+  r = std::clamp<std::int64_t>(r, 1, std::min(m, n));
+
+  TruncatedSvd result;
+  result.sigma.resize(static_cast<std::size_t>(r));
+
+  // Eigendecompose the smaller Gram matrix, then recover the other factor by
+  // one projection: A·v = σ·u and Aᵀ·u = σ·v.
+  if (m <= n) {
+    const EighResult eig = jacobi_eigh(gram(a));  // A·Aᵀ, m×m
+    result.u = take_columns(eig.vectors, r);
+    for (std::int64_t j = 0; j < r; ++j) {
+      result.sigma[static_cast<std::size_t>(j)] =
+          std::sqrt(std::max(0.0, eig.values[static_cast<std::size_t>(j)]));
+    }
+    // V = Aᵀ · U · diag(1/σ)
+    result.v = matmul(transpose(a), result.u);
+    for (std::int64_t j = 0; j < r; ++j) {
+      const double s = result.sigma[static_cast<std::size_t>(j)];
+      const float inv = s > 1e-12 ? static_cast<float>(1.0 / s) : 0.0f;
+      for (std::int64_t i = 0; i < n; ++i) result.v.at(i, j) *= inv;
+    }
+  } else {
+    const EighResult eig = jacobi_eigh(gram(transpose(a)));  // Aᵀ·A, n×n
+    result.v = take_columns(eig.vectors, r);
+    for (std::int64_t j = 0; j < r; ++j) {
+      result.sigma[static_cast<std::size_t>(j)] =
+          std::sqrt(std::max(0.0, eig.values[static_cast<std::size_t>(j)]));
+    }
+    result.u = matmul(a, result.v);
+    for (std::int64_t j = 0; j < r; ++j) {
+      const double s = result.sigma[static_cast<std::size_t>(j)];
+      const float inv = s > 1e-12 ? static_cast<float>(1.0 / s) : 0.0f;
+      for (std::int64_t i = 0; i < m; ++i) result.u.at(i, j) *= inv;
+    }
+  }
+  return result;
+}
+
+Tensor leading_left_singular_vectors(const Tensor& a, std::int64_t r) {
+  TEMCO_CHECK(a.shape().rank() == 2);
+  const std::int64_t m = a.shape()[0];
+  r = std::clamp<std::int64_t>(r, 1, m);
+  const EighResult eig = jacobi_eigh(gram(a));
+  return take_columns(eig.vectors, r);
+}
+
+}  // namespace temco::linalg

@@ -1,0 +1,28 @@
+// Truncated singular value decomposition.
+//
+// Computed through the smaller Gram matrix and the Jacobi eigensolver:
+//   A ≈ U · diag(σ) · Vᵀ  with U[m,r], V[n,r].
+// This is the only SVD the decomposition module needs; ranks are small
+// (decomposition ratio 0.1 in the paper's setup).
+#pragma once
+
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace temco::linalg {
+
+struct TruncatedSvd {
+  Tensor u;                    ///< [m, r], orthonormal columns
+  std::vector<double> sigma;   ///< r singular values, descending
+  Tensor v;                    ///< [n, r], orthonormal columns
+};
+
+/// Rank-`r` truncated SVD of `a` ([m, n]).  `r` is clamped to min(m, n).
+/// Columns associated with numerically zero singular values are zero-filled.
+TruncatedSvd truncated_svd(const Tensor& a, std::int64_t r);
+
+/// Top-`r` left singular vectors only (the factor HOSVD needs per mode).
+Tensor leading_left_singular_vectors(const Tensor& a, std::int64_t r);
+
+}  // namespace temco::linalg

@@ -1,0 +1,328 @@
+#include "models/zoo.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/rng.hpp"
+
+namespace temco::models {
+
+namespace {
+
+using ir::Graph;
+using ir::PoolKind;
+using ir::ValueId;
+
+/// Shared layer-emission helper: deterministic Kaiming-normal weights, each
+/// layer drawing from its own split of the model RNG so layer insertion
+/// order does not perturb other layers' values.
+class Builder {
+ public:
+  Builder(Graph& graph, const ModelConfig& config)
+      : graph_(graph), config_(config), rng_(config.seed) {}
+
+  std::int64_t ch(std::int64_t base) const {
+    return std::max<std::int64_t>(
+        4, static_cast<std::int64_t>(std::llround(config_.width * static_cast<double>(base))));
+  }
+
+  Tensor conv_weight(std::int64_t c_out, std::int64_t c_in, std::int64_t k) {
+    Rng layer_rng = rng_.split();
+    const float stddev = std::sqrt(2.0f / static_cast<float>(c_in * k * k));
+    return Tensor::random_normal(Shape{c_out, c_in, k, k}, layer_rng, stddev);
+  }
+
+  Tensor bias(std::int64_t c) {
+    Rng layer_rng = rng_.split();
+    return Tensor::random_uniform(Shape{c}, layer_rng, -0.1f, 0.1f);
+  }
+
+  ValueId conv(ValueId x, std::int64_t c_in, std::int64_t c_out, std::int64_t k,
+               std::int64_t stride, std::int64_t pad, const std::string& name) {
+    return graph_.conv2d(x, conv_weight(c_out, c_in, k), bias(c_out), stride, pad, name);
+  }
+
+  ValueId conv_relu(ValueId x, std::int64_t c_in, std::int64_t c_out, std::int64_t k,
+                    std::int64_t stride, std::int64_t pad, const std::string& name) {
+    return graph_.relu(conv(x, c_in, c_out, k, stride, pad, name), name + ".relu");
+  }
+
+  ValueId classifier(ValueId x, std::int64_t features) {
+    Rng layer_rng = rng_.split();
+    const float stddev = std::sqrt(1.0f / static_cast<float>(features));
+    const ValueId flat = graph_.flatten(x, "flatten");
+    return graph_.linear(flat,
+                         Tensor::random_normal(Shape{config_.classes, features}, layer_rng, stddev),
+                         bias(config_.classes), "fc");
+  }
+
+  Graph& graph() { return graph_; }
+  const ModelConfig& config() const { return config_; }
+
+ private:
+  Graph& graph_;
+  const ModelConfig& config_;
+  Rng rng_;
+};
+
+void finalize(Graph& graph, ValueId output) {
+  graph.set_outputs({output});
+  graph.infer_shapes();
+  graph.verify();
+}
+
+}  // namespace
+
+// ---- AlexNet ---------------------------------------------------------------
+
+ir::Graph build_alexnet(const ModelConfig& config) {
+  Graph graph;
+  Builder b(graph, config);
+  const ValueId in = graph.input(Shape{config.batch, 3, config.image, config.image}, "image");
+
+  // Track the spatial extent so the 3×3/2 pools can be skipped once the map
+  // is too small — keeps the canonical architecture valid at test-scale
+  // resolutions (ImageNet-size inputs take every pool).
+  std::int64_t spatial = (config.image + 2 * 2 - 11) / 4 + 1;
+  const auto maybe_pool = [&](ValueId v, const std::string& name) {
+    if (spatial < 3) return v;
+    spatial = (spatial - 3) / 2 + 1;
+    return graph.pool(v, PoolKind::kMax, 3, 2, name);
+  };
+
+  ValueId x = b.conv_relu(in, 3, b.ch(64), 11, 4, 2, "conv1");
+  x = maybe_pool(x, "pool1");
+  x = b.conv_relu(x, b.ch(64), b.ch(192), 5, 1, 2, "conv2");
+  x = maybe_pool(x, "pool2");
+  x = b.conv_relu(x, b.ch(192), b.ch(384), 3, 1, 1, "conv3");
+  x = b.conv_relu(x, b.ch(384), b.ch(256), 3, 1, 1, "conv4");
+  x = b.conv_relu(x, b.ch(256), b.ch(256), 3, 1, 1, "conv5");
+  x = maybe_pool(x, "pool5");
+  x = graph.global_avg_pool(x, "gap");
+  const ValueId out = b.classifier(x, b.ch(256));
+  finalize(graph, out);
+  return graph;
+}
+
+// ---- VGG --------------------------------------------------------------------
+
+ir::Graph build_vgg(int depth, const ModelConfig& config) {
+  // -1 encodes a max-pool; positive numbers are conv output channels.
+  std::vector<std::int64_t> cfg;
+  switch (depth) {
+    case 11:
+      cfg = {64, -1, 128, -1, 256, 256, -1, 512, 512, -1, 512, 512, -1};
+      break;
+    case 16:
+      cfg = {64, 64, -1, 128, 128, -1, 256, 256, 256, -1, 512, 512, 512, -1, 512, 512, 512, -1};
+      break;
+    case 19:
+      cfg = {64, 64, -1, 128, 128, -1, 256, 256, 256, 256, -1,
+             512, 512, 512, 512, -1, 512, 512, 512, 512, -1};
+      break;
+    default:
+      TEMCO_FAIL() << "unsupported VGG depth " << depth;
+  }
+
+  Graph graph;
+  Builder b(graph, config);
+  const ValueId in = graph.input(Shape{config.batch, 3, config.image, config.image}, "image");
+
+  ValueId x = in;
+  std::int64_t channels = 3;
+  int conv_index = 0;
+  int pool_index = 0;
+  for (const std::int64_t entry : cfg) {
+    if (entry < 0) {
+      x = graph.pool(x, PoolKind::kMax, 2, 2, "pool" + std::to_string(++pool_index));
+    } else {
+      const std::int64_t c = b.ch(entry);
+      x = b.conv_relu(x, channels, c, 3, 1, 1, "conv" + std::to_string(++conv_index));
+      channels = c;
+    }
+  }
+  x = graph.global_avg_pool(x, "gap");
+  const ValueId out = b.classifier(x, channels);
+  finalize(graph, out);
+  return graph;
+}
+
+// ---- ResNet (basic blocks) ---------------------------------------------------
+
+namespace {
+
+ValueId resnet_basic_block(Builder& b, ValueId x, std::int64_t c_in, std::int64_t c_out,
+                           std::int64_t stride, const std::string& name) {
+  Graph& g = b.graph();
+  ValueId y = b.conv_relu(x, c_in, c_out, 3, stride, 1, name + ".conv1");
+  y = b.conv(y, c_out, c_out, 3, 1, 1, name + ".conv2");
+  ValueId shortcut = x;
+  if (stride != 1 || c_in != c_out) {
+    shortcut = b.conv(x, c_in, c_out, 1, stride, 0, name + ".proj");
+  }
+  const ValueId sum = g.add({y, shortcut}, name + ".add");
+  return g.relu(sum, name + ".relu");
+}
+
+}  // namespace
+
+ir::Graph build_resnet(int depth, const ModelConfig& config) {
+  std::vector<int> blocks;
+  switch (depth) {
+    case 18: blocks = {2, 2, 2, 2}; break;
+    case 34: blocks = {3, 4, 6, 3}; break;
+    default: TEMCO_FAIL() << "unsupported ResNet depth " << depth;
+  }
+
+  Graph graph;
+  Builder b(graph, config);
+  const ValueId in = graph.input(Shape{config.batch, 3, config.image, config.image}, "image");
+
+  ValueId x = b.conv_relu(in, 3, b.ch(64), 7, 2, 3, "stem");
+  x = graph.pool(x, PoolKind::kMax, 3, 2, "stem.pool");
+  std::int64_t channels = b.ch(64);
+  const std::int64_t stage_channels[4] = {b.ch(64), b.ch(128), b.ch(256), b.ch(512)};
+  for (int stage = 0; stage < 4; ++stage) {
+    for (int block = 0; block < blocks[static_cast<std::size_t>(stage)]; ++block) {
+      const std::int64_t stride = (stage > 0 && block == 0) ? 2 : 1;
+      const std::string name = "s" + std::to_string(stage) + "b" + std::to_string(block);
+      x = resnet_basic_block(b, x, channels, stage_channels[stage], stride, name);
+      channels = stage_channels[stage];
+    }
+  }
+  x = graph.global_avg_pool(x, "gap");
+  const ValueId out = b.classifier(x, channels);
+  finalize(graph, out);
+  return graph;
+}
+
+// ---- DenseNet -----------------------------------------------------------------
+
+ir::Graph build_densenet(int depth, const ModelConfig& config) {
+  std::vector<int> blocks;
+  switch (depth) {
+    case 121: blocks = {6, 12, 24, 16}; break;
+    case 169: blocks = {6, 12, 32, 32}; break;
+    default: TEMCO_FAIL() << "unsupported DenseNet depth " << depth;
+  }
+  const std::int64_t growth = std::max<std::int64_t>(4, static_cast<std::int64_t>(
+                                                            std::llround(32 * config.width)));
+
+  Graph graph;
+  Builder b(graph, config);
+  const ValueId in = graph.input(Shape{config.batch, 3, config.image, config.image}, "image");
+
+  ValueId x = b.conv_relu(in, 3, 2 * growth, 7, 2, 3, "stem");
+  x = graph.pool(x, PoolKind::kMax, 3, 2, "stem.pool");
+  std::int64_t channels = 2 * growth;
+
+  for (std::size_t stage = 0; stage < blocks.size(); ++stage) {
+    // Dense block: every layer consumes the concatenation of the block input
+    // and all previous features (the skip-connection structure Fig. 10
+    // exercises hardest).
+    std::vector<ValueId> features = {x};
+    for (int layer = 0; layer < blocks[stage]; ++layer) {
+      const std::string name = "d" + std::to_string(stage) + "l" + std::to_string(layer);
+      const ValueId cat = features.size() == 1
+                              ? features[0]
+                              : graph.concat(features, name + ".concat");
+      // Bottleneck 1×1 then 3×3, both ReLU (BN folded).
+      ValueId y = b.conv_relu(cat, channels, 4 * growth, 1, 1, 0, name + ".bottleneck");
+      y = b.conv_relu(y, 4 * growth, growth, 3, 1, 1, name + ".conv");
+      features.push_back(y);
+      channels += growth;
+    }
+    x = graph.concat(features, "d" + std::to_string(stage) + ".out");
+    if (stage + 1 < blocks.size()) {
+      // Transition: 1×1 compression + 2×2 average pool.
+      const std::int64_t compressed = channels / 2;
+      x = b.conv_relu(x, channels, compressed, 1, 1, 0, "t" + std::to_string(stage));
+      x = graph.pool(x, PoolKind::kAvg, 2, 2, "t" + std::to_string(stage) + ".pool");
+      channels = compressed;
+    }
+  }
+  x = graph.global_avg_pool(x, "gap");
+  const ValueId out = b.classifier(x, channels);
+  finalize(graph, out);
+  return graph;
+}
+
+// ---- UNet -----------------------------------------------------------------------
+
+ir::Graph build_unet(bool half, const ModelConfig& config) {
+  const int levels = half ? 3 : 4;
+  const std::int64_t base = half ? 32 : 64;
+
+  Graph graph;
+  Builder b(graph, config);
+  const ValueId in = graph.input(Shape{config.batch, 3, config.image, config.image}, "image");
+
+  const auto double_conv = [&](ValueId x, std::int64_t c_in, std::int64_t c_out,
+                               const std::string& name) {
+    ValueId y = b.conv_relu(x, c_in, c_out, 3, 1, 1, name + ".conv1");
+    return b.conv_relu(y, c_out, c_out, 3, 1, 1, name + ".conv2");
+  };
+
+  // Encoder.
+  std::vector<ValueId> skips;
+  std::vector<std::int64_t> skip_channels;
+  ValueId x = in;
+  std::int64_t channels = 3;
+  for (int level = 0; level < levels; ++level) {
+    const std::int64_t c = b.ch(base << level);
+    x = double_conv(x, channels, c, "enc" + std::to_string(level));
+    skips.push_back(x);
+    skip_channels.push_back(c);
+    x = graph.pool(x, PoolKind::kMax, 2, 2, "down" + std::to_string(level));
+    channels = c;
+  }
+  // Bottleneck.
+  const std::int64_t bottleneck = b.ch(base << levels);
+  x = double_conv(x, channels, bottleneck, "bottleneck");
+  channels = bottleneck;
+
+  // Decoder: upsample, halve channels with a 3×3 conv, concat the skip,
+  // double conv.
+  for (int level = levels - 1; level >= 0; --level) {
+    const std::int64_t c = skip_channels[static_cast<std::size_t>(level)];
+    x = graph.upsample(x, 2, "up" + std::to_string(level));
+    x = b.conv_relu(x, channels, c, 3, 1, 1, "up" + std::to_string(level) + ".conv");
+    x = graph.concat({skips[static_cast<std::size_t>(level)], x},
+                     "up" + std::to_string(level) + ".concat");
+    x = double_conv(x, 2 * c, c, "dec" + std::to_string(level));
+    channels = c;
+  }
+  // 1-channel mask logits (Carvana-style binary segmentation).
+  const ValueId out = b.conv(x, channels, 1, 1, 1, 0, "mask");
+  finalize(graph, out);
+  return graph;
+}
+
+// ---- zoo -------------------------------------------------------------------------
+
+const std::vector<ModelSpec>& model_zoo() {
+  static const std::vector<ModelSpec> zoo = {
+      {"alexnet", "AlexNet", false, [](const ModelConfig& c) { return build_alexnet(c); }},
+      {"vgg11", "VGG", false, [](const ModelConfig& c) { return build_vgg(11, c); }},
+      {"vgg16", "VGG", false, [](const ModelConfig& c) { return build_vgg(16, c); }},
+      {"vgg19", "VGG", false, [](const ModelConfig& c) { return build_vgg(19, c); }},
+      {"resnet18", "ResNet", true, [](const ModelConfig& c) { return build_resnet(18, c); }},
+      {"resnet34", "ResNet", true, [](const ModelConfig& c) { return build_resnet(34, c); }},
+      {"densenet121", "DenseNet", true,
+       [](const ModelConfig& c) { return build_densenet(121, c); }},
+      {"densenet169", "DenseNet", true,
+       [](const ModelConfig& c) { return build_densenet(169, c); }},
+      {"unet", "UNet", true, [](const ModelConfig& c) { return build_unet(false, c); }},
+      {"unet_half", "UNet", true, [](const ModelConfig& c) { return build_unet(true, c); }},
+  };
+  return zoo;
+}
+
+const ModelSpec& find_model(const std::string& name) {
+  for (const ModelSpec& spec : model_zoo()) {
+    if (spec.name == name) return spec;
+  }
+  TEMCO_FAIL() << "unknown model '" << name << "'";
+}
+
+}  // namespace temco::models

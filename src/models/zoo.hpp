@@ -1,0 +1,48 @@
+// Model zoo: the paper's benchmark set — 10 models of 5 architectures
+// (AlexNet; VGG-11/16/19; ResNet-18/34; DenseNet-121/169; UNet/UNet-Half).
+//
+// Weights are deterministic (seeded Kaiming-style init) and batch-norm-free:
+// at inference time frameworks fold BN into the preceding convolution, so the
+// graphs here are the post-folding form the compiler actually sees.  The
+// `width` multiplier and `image` size let benches run at CPU-friendly scale
+// while preserving every structural property the passes depend on (ratios of
+// tensor sizes scale uniformly; see DESIGN.md substitutions).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "ir/graph.hpp"
+
+namespace temco::models {
+
+struct ModelConfig {
+  std::int64_t batch = 4;
+  std::int64_t image = 64;   ///< square input resolution
+  double width = 1.0;        ///< channel width multiplier
+  std::int64_t classes = 100;
+  std::uint64_t seed = 42;
+};
+
+ir::Graph build_alexnet(const ModelConfig& config);
+ir::Graph build_vgg(int depth, const ModelConfig& config);       ///< depth ∈ {11, 16, 19}
+ir::Graph build_resnet(int depth, const ModelConfig& config);    ///< depth ∈ {18, 34}
+ir::Graph build_densenet(int depth, const ModelConfig& config);  ///< depth ∈ {121, 169}
+ir::Graph build_unet(bool half, const ModelConfig& config);      ///< half: narrower/shallower
+
+struct ModelSpec {
+  std::string name;
+  std::string family;  ///< AlexNet / VGG / ResNet / DenseNet / UNet
+  bool has_skip_connections;
+  std::function<ir::Graph(const ModelConfig&)> build;
+};
+
+/// The 10 evaluated models, in the order the paper's figures list them.
+const std::vector<ModelSpec>& model_zoo();
+
+/// Finds a model by name; throws if unknown.
+const ModelSpec& find_model(const std::string& name);
+
+}  // namespace temco::models

@@ -1,0 +1,70 @@
+// Grain-controlled parallel loops on top of ThreadPool.
+//
+// Kernels express parallelism as ranges; this header chunks them so that
+// per-task overhead stays negligible even for fine-grained bodies, and falls
+// back to a plain serial loop when the range is too small to be worth forking.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <functional>
+
+#include "parallel/thread_pool.hpp"
+
+namespace temco {
+
+struct ParallelOptions {
+  /// Minimum number of iterations per chunk; below `grain` total the loop
+  /// runs serially on the caller.
+  std::size_t grain = 1024;
+  /// Pool to run on; nullptr selects the process-global pool.
+  ThreadPool* pool = nullptr;
+};
+
+/// Invokes `body(begin, end)` over disjoint sub-ranges covering [0, count).
+/// The two-argument form lets bodies hoist per-chunk setup (e.g. pointer
+/// arithmetic) out of the inner loop.
+template <typename Body>
+void parallel_for_ranges(std::size_t count, const Body& body, ParallelOptions options = {}) {
+  if (count == 0) return;
+  ThreadPool& pool = options.pool != nullptr ? *options.pool : ThreadPool::global();
+  const std::size_t grain = std::max<std::size_t>(1, options.grain);
+  if (count <= grain || pool.concurrency() == 1) {
+    body(std::size_t{0}, count);
+    return;
+  }
+  // Aim for a few chunks per thread so the atomic cursor can load-balance.
+  const std::size_t target_chunks = pool.concurrency() * 4;
+  const std::size_t chunk = std::max(grain, (count + target_chunks - 1) / target_chunks);
+  const std::size_t num_chunks = (count + chunk - 1) / chunk;
+  pool.run(num_chunks, [&](std::size_t index) {
+    const std::size_t begin = index * chunk;
+    const std::size_t end = std::min(count, begin + chunk);
+    body(begin, end);
+  });
+}
+
+/// Invokes `body(i)` for each i in [0, count).
+template <typename Body>
+void parallel_for(std::size_t count, const Body& body, ParallelOptions options = {}) {
+  parallel_for_ranges(
+      count,
+      [&body](std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) body(i);
+      },
+      options);
+}
+
+/// Parallelizes over the outer dimension of a 2-D iteration space; the body
+/// receives (outer, inner_begin, inner_end) and is expected to loop inner.
+template <typename Body>
+void parallel_for_2d(std::size_t outer, std::size_t inner, const Body& body,
+                     ParallelOptions options = {}) {
+  // Treat one outer slice as `inner` iterations for grain purposes.
+  ParallelOptions outer_options = options;
+  outer_options.grain = std::max<std::size_t>(1, options.grain / std::max<std::size_t>(1, inner));
+  parallel_for(
+      outer, [&](std::size_t o) { body(o, std::size_t{0}, inner); }, outer_options);
+}
+
+}  // namespace temco

@@ -1,0 +1,118 @@
+#include "parallel/thread_pool.hpp"
+
+#include <atomic>
+#include <cstdint>
+#include <exception>
+
+namespace temco {
+
+// One fork-join episode.  Indices are claimed with a shared atomic cursor so
+// imbalanced tasks (e.g. convolution rows with different amounts of padding)
+// still load-balance; completion is tracked with a separate counter because a
+// claimed index is not yet a finished index.
+struct ThreadPool::Batch {
+  std::size_t num_tasks = 0;
+  const std::function<void(std::size_t)>* task = nullptr;
+  std::atomic<std::size_t> next{0};
+  std::atomic<std::size_t> finished{0};
+  std::exception_ptr error;  // first exception observed
+  std::mutex error_mutex;
+};
+
+ThreadPool::ThreadPool(std::size_t num_threads) {
+  std::size_t n = num_threads;
+  if (n == 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    n = hw > 0 ? hw : 1;
+  }
+  // The calling thread is a participant, so spawn one fewer worker.
+  for (std::size_t i = 1; i < n; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutdown_ = true;
+  }
+  wake_.notify_all();
+  for (auto& worker : workers_) worker.join();
+}
+
+void ThreadPool::work_on(Batch& batch) {
+  for (;;) {
+    const std::size_t index = batch.next.fetch_add(1, std::memory_order_relaxed);
+    if (index >= batch.num_tasks) break;
+    try {
+      (*batch.task)(index);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(batch.error_mutex);
+      if (!batch.error) batch.error = std::current_exception();
+    }
+    batch.finished.fetch_add(1, std::memory_order_acq_rel);
+  }
+}
+
+void ThreadPool::worker_loop() {
+  // Each `run` bumps `epoch_`; a worker only considers a batch it has not
+  // seen, which makes stack-address reuse across runs harmless.
+  std::uint64_t seen = 0;
+  for (;;) {
+    Batch* batch = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      wake_.wait(lock, [this, seen] { return shutdown_ || epoch_ != seen; });
+      if (shutdown_) return;
+      seen = epoch_;
+      batch = current_;  // may already be null if the batch drained quickly
+    }
+    if (batch == nullptr) continue;
+    work_on(*batch);
+    // Acquire/release the mutex before notifying so a completion that races
+    // with the owner's predicate check cannot become a lost wakeup.
+    { std::lock_guard<std::mutex> lock(mutex_); }
+    done_.notify_all();
+    // Park until the owner retires the batch; `epoch_retired_ >= seen` means
+    // the batch we worked on is gone and `current_` no longer points at it.
+    std::unique_lock<std::mutex> lock(mutex_);
+    done_.wait(lock, [this, seen] { return shutdown_ || epoch_retired_ >= seen; });
+  }
+}
+
+void ThreadPool::run(std::size_t num_tasks, const std::function<void(std::size_t)>& task) {
+  if (num_tasks == 0) return;
+  if (workers_.empty() || num_tasks == 1) {
+    // Single-threaded fast path: no synchronization at all.
+    for (std::size_t i = 0; i < num_tasks; ++i) task(i);
+    return;
+  }
+
+  Batch batch;
+  batch.num_tasks = num_tasks;
+  batch.task = &task;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    current_ = &batch;
+    ++epoch_;
+  }
+  wake_.notify_all();
+  work_on(batch);
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    done_.wait(lock, [&batch] {
+      return batch.finished.load(std::memory_order_acquire) == batch.num_tasks;
+    });
+    current_ = nullptr;
+    epoch_retired_ = epoch_;
+  }
+  done_.notify_all();
+  if (batch.error) std::rethrow_exception(batch.error);
+}
+
+ThreadPool& ThreadPool::global() {
+  static ThreadPool pool;
+  return pool;
+}
+
+}  // namespace temco

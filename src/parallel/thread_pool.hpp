@@ -1,0 +1,58 @@
+// A fixed-size work-sharing thread pool.
+//
+// All CPU kernels in this repository parallelize through this pool rather
+// than spawning ad-hoc threads, so thread creation cost is paid once per
+// process and kernel performance is predictable.  The pool exposes a
+// fork-join `run` primitive: the caller's thread participates in the work,
+// and `run` returns only when every task has finished — kernels therefore
+// never observe concurrent invocations of themselves.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace temco {
+
+class ThreadPool {
+ public:
+  /// Creates a pool with `num_threads` workers; 0 means hardware concurrency.
+  explicit ThreadPool(std::size_t num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Number of threads that participate in `run` (workers + caller).
+  std::size_t concurrency() const { return workers_.size() + 1; }
+
+  /// Invokes `task(index)` for every index in [0, num_tasks), distributing
+  /// indices across the workers and the calling thread.  Blocks until all
+  /// invocations complete.  Exceptions thrown by tasks are rethrown on the
+  /// caller (the first one observed).
+  void run(std::size_t num_tasks, const std::function<void(std::size_t)>& task);
+
+  /// Process-wide shared pool, sized to the hardware.
+  static ThreadPool& global();
+
+ private:
+  struct Batch;
+
+  void worker_loop();
+  void work_on(Batch& batch);
+
+  std::vector<std::thread> workers_;
+  std::mutex mutex_;
+  std::condition_variable wake_;
+  std::condition_variable done_;
+  Batch* current_ = nullptr;          // guarded by mutex_
+  std::uint64_t epoch_ = 0;           // guarded by mutex_; bumped per run
+  std::uint64_t epoch_retired_ = 0;   // guarded by mutex_; last finished run
+  bool shutdown_ = false;             // guarded by mutex_
+};
+
+}  // namespace temco

@@ -1,0 +1,50 @@
+#include "runtime/allocator.hpp"
+
+#include <algorithm>
+
+namespace temco::runtime {
+
+Buffer TrackingAllocator::allocate(std::int64_t numel) {
+  TEMCO_CHECK(numel >= 0);
+  const std::int64_t bytes = numel * static_cast<std::int64_t>(sizeof(float));
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    live_ += bytes;
+    peak_ = std::max(peak_, live_);
+    ++allocations_;
+  }
+  float* raw = new float[static_cast<std::size_t>(numel)]();
+  // The deleter captures `this`; callers guarantee the allocator outlives
+  // every buffer it produced (the executor owns both).
+  return Buffer(raw, [this, bytes](float* p) {
+    delete[] p;
+    on_free(bytes);
+  });
+}
+
+void TrackingAllocator::on_free(std::int64_t bytes) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  live_ -= bytes;
+}
+
+std::int64_t TrackingAllocator::live_bytes() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return live_;
+}
+
+std::int64_t TrackingAllocator::peak_bytes() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return peak_;
+}
+
+std::int64_t TrackingAllocator::total_allocations() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return allocations_;
+}
+
+void TrackingAllocator::reset_peak() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  peak_ = live_;
+}
+
+}  // namespace temco::runtime

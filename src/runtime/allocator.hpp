@@ -1,0 +1,42 @@
+// Tracking allocator for internal tensors.
+//
+// The paper's whole evaluation hinges on one quantity: the peak number of
+// bytes simultaneously held by *internal* tensors when a framework allocates
+// each layer's output at definition and frees tensors after their last use
+// (§2.2).  This allocator hands out tensor buffers whose deleters report
+// frees back, so "live bytes" and "peak bytes" are measured, not estimated —
+// the analytic planner is cross-checked against it in tests.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+
+#include "tensor/tensor.hpp"
+
+namespace temco::runtime {
+
+class TrackingAllocator {
+ public:
+  /// Allocates a zero-initialized buffer of `numel` floats whose lifetime is
+  /// observed by this allocator.  The allocator must outlive the buffer.
+  Buffer allocate(std::int64_t numel);
+
+  std::int64_t live_bytes() const;
+  std::int64_t peak_bytes() const;
+  std::int64_t total_allocations() const;
+
+  /// Resets the peak to the current live size (the live set itself is
+  /// whatever buffers are still outstanding).
+  void reset_peak();
+
+ private:
+  void on_free(std::int64_t bytes);
+
+  mutable std::mutex mutex_;
+  std::int64_t live_ = 0;
+  std::int64_t peak_ = 0;
+  std::int64_t allocations_ = 0;
+};
+
+}  // namespace temco::runtime

@@ -1,0 +1,149 @@
+#include "runtime/executor.hpp"
+
+#include <algorithm>
+
+#include "kernels/kernels.hpp"
+#include "support/timer.hpp"
+
+namespace temco::runtime {
+
+namespace {
+
+/// Dispatches one node onto the kernel library.  `values` holds the tensor
+/// for every already-executed value (empty slots for freed ones).
+void run_node(const ir::Graph& graph, const ir::Node& node, std::vector<Tensor>& values,
+              Tensor& out) {
+  using ir::OpKind;
+  auto in = [&](std::size_t i) -> const Tensor& {
+    const Tensor& t = values[static_cast<std::size_t>(node.inputs[i])];
+    TEMCO_CHECK(t.defined()) << node.name << ": input " << i << " was freed too early";
+    return t;
+  };
+
+  switch (node.kind) {
+    case OpKind::kInput:
+      TEMCO_FAIL() << "input nodes are not executed";
+      break;
+    case OpKind::kConv2d:
+      kernels::conv2d(in(0), node.weights[0], node.weights[1], node.attrs.stride_h,
+                      node.attrs.stride_w, node.attrs.pad_h, node.attrs.pad_w, out);
+      break;
+    case OpKind::kDepthwiseConv2d:
+      kernels::depthwise_conv2d(in(0), node.weights[0], node.weights[1], node.attrs.stride_h,
+                                node.attrs.stride_w, node.attrs.pad_h, node.attrs.pad_w, out);
+      break;
+    case OpKind::kRelu:
+      kernels::relu(in(0), out);
+      break;
+    case OpKind::kSilu:
+      kernels::silu(in(0), out);
+      break;
+    case OpKind::kPool:
+      kernels::pool(in(0), node.attrs.pool_kind, node.attrs.pool_kh, node.attrs.pool_kw,
+                    node.attrs.pool_sh, node.attrs.pool_sw, out);
+      break;
+    case OpKind::kGlobalAvgPool:
+      kernels::global_avg_pool(in(0), out);
+      break;
+    case OpKind::kUpsample:
+      kernels::upsample_nearest(in(0), node.attrs.upsample_factor, out);
+      break;
+    case OpKind::kAdd: {
+      std::vector<const Tensor*> xs;
+      xs.reserve(node.inputs.size());
+      for (std::size_t i = 0; i < node.inputs.size(); ++i) xs.push_back(&in(i));
+      kernels::add_n(xs, out);
+      break;
+    }
+    case OpKind::kConcat: {
+      std::vector<const Tensor*> xs;
+      xs.reserve(node.inputs.size());
+      for (std::size_t i = 0; i < node.inputs.size(); ++i) xs.push_back(&in(i));
+      kernels::concat_channels(xs, out);
+      break;
+    }
+    case OpKind::kFlatten:
+      kernels::flatten(in(0), out);
+      break;
+    case OpKind::kLinear:
+      kernels::linear(in(0), node.weights[0], node.weights[1], out);
+      break;
+    case OpKind::kSoftmax:
+      kernels::softmax(in(0), out);
+      break;
+    case OpKind::kFusedConvActConv:
+      kernels::fused_conv_act_conv(in(0), node.weights[0], node.weights[1], node.weights[2],
+                                   node.weights[3], node.attrs.act, node.attrs.fused_has_pool,
+                                   node.attrs.pool_kind, node.attrs.pool_kh, node.attrs.pool_sh,
+                                   out);
+      break;
+  }
+  (void)graph;
+}
+
+}  // namespace
+
+Executor::Executor(const ir::Graph& graph) : graph_(graph) {
+  graph_.verify();
+  liveness_ = compute_liveness(graph_);
+  dying_ = values_dying_at(graph_, liveness_);
+  for (const ir::Node& node : graph_.nodes()) {
+    if (node.kind == ir::OpKind::kInput) input_ids_.push_back(node.id);
+  }
+}
+
+ExecutionResult Executor::run(const std::vector<Tensor>& inputs) const {
+  TEMCO_CHECK(inputs.size() == input_ids_.size())
+      << "expected " << input_ids_.size() << " inputs, got " << inputs.size();
+
+  TrackingAllocator allocator;
+  std::vector<Tensor> values(graph_.size());
+  ExecutionResult result;
+  result.timeline.reserve(graph_.size());
+  Timer timer;
+
+  for (const ir::Node& node : graph_.nodes()) {
+    const std::size_t slot = static_cast<std::size_t>(node.id);
+    if (node.kind == ir::OpKind::kInput) {
+      // Copy the caller's input into tracked storage: the input batch is an
+      // internal tensor and occupies framework memory during inference.
+      const std::size_t pos = static_cast<std::size_t>(
+          std::find(input_ids_.begin(), input_ids_.end(), node.id) - input_ids_.begin());
+      const Tensor& provided = inputs[pos];
+      TEMCO_CHECK(provided.shape() == node.out_shape)
+          << node.name << ": input shape " << provided.shape() << " != declared "
+          << node.out_shape;
+      Tensor tracked(node.out_shape, allocator.allocate(node.out_shape.numel()));
+      std::copy(provided.span().begin(), provided.span().end(), tracked.span().begin());
+      values[slot] = std::move(tracked);
+    } else {
+      Tensor out(node.out_shape, allocator.allocate(node.out_shape.numel()));
+      run_node(graph_, node, values, out);
+      values[slot] = std::move(out);
+    }
+    const std::int64_t during = allocator.live_bytes();
+    // Free everything whose last use has now passed (outputs are kept by the
+    // liveness table until the final step, then returned to the caller).
+    for (const ir::ValueId dead : dying_[slot]) {
+      if (!graph_.is_output(dead)) values[static_cast<std::size_t>(dead)] = Tensor();
+    }
+    result.timeline.push_back(
+        StepTrace{node.id, allocator.live_bytes(), during});
+  }
+
+  result.wall_seconds = timer.elapsed_seconds();
+  result.peak_internal_bytes = allocator.peak_bytes();
+  result.weight_bytes = graph_.total_weight_bytes();
+  // Clone outputs into plain-heap storage: the tracked buffers' deleters
+  // reference the stack-local allocator and must not outlive this frame.
+  for (const ir::ValueId out : graph_.outputs()) {
+    result.outputs.push_back(values[static_cast<std::size_t>(out)].clone());
+  }
+  return result;
+}
+
+ExecutionResult execute(const ir::Graph& graph, const std::vector<Tensor>& inputs) {
+  return Executor(graph).run(inputs);
+}
+
+}  // namespace temco::runtime

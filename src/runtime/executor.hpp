@@ -1,0 +1,52 @@
+// Graph executor with framework-style memory management.
+//
+// Mirrors how PyTorch/TensorFlow run an inference graph (§2.2): each node's
+// output is allocated when the node runs, and every tensor is dropped right
+// after its last use.  All internal-tensor storage comes from a
+// TrackingAllocator, so running a graph *measures* the peak the planner
+// predicts.  The executor also records a per-step live-byte timeline — the
+// data behind Figure 4.
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "ir/graph.hpp"
+#include "runtime/allocator.hpp"
+#include "runtime/liveness.hpp"
+
+namespace temco::runtime {
+
+struct StepTrace {
+  ir::ValueId id = ir::kInvalidValue;
+  std::int64_t live_bytes_after = 0;  ///< live internal bytes after frees at this step
+  std::int64_t step_peak_bytes = 0;   ///< live bytes while the node ran (inputs + output)
+};
+
+struct ExecutionResult {
+  std::vector<Tensor> outputs;               ///< one per graph output, in order
+  std::int64_t peak_internal_bytes = 0;      ///< measured by the tracking allocator
+  std::int64_t weight_bytes = 0;             ///< constant weights (loaded up-front)
+  std::vector<StepTrace> timeline;           ///< per-node live-byte series (Fig. 4)
+  double wall_seconds = 0.0;
+};
+
+class Executor {
+ public:
+  explicit Executor(const ir::Graph& graph);
+
+  /// Runs the graph on `inputs` (one tensor per kInput node, in definition
+  /// order).  Each call is independent; buffers never persist across runs.
+  ExecutionResult run(const std::vector<Tensor>& inputs) const;
+
+ private:
+  const ir::Graph& graph_;
+  std::vector<LiveRange> liveness_;
+  std::vector<std::vector<ir::ValueId>> dying_;
+  std::vector<ir::ValueId> input_ids_;
+};
+
+/// Convenience wrapper: builds an Executor and runs once.
+ExecutionResult execute(const ir::Graph& graph, const std::vector<Tensor>& inputs);
+
+}  // namespace temco::runtime

@@ -1,0 +1,35 @@
+#include "runtime/liveness.hpp"
+
+#include <algorithm>
+
+namespace temco::runtime {
+
+std::vector<LiveRange> compute_liveness(const ir::Graph& graph) {
+  std::vector<LiveRange> ranges(graph.size());
+  for (const ir::Node& node : graph.nodes()) {
+    ranges[static_cast<std::size_t>(node.id)].begin = node.id;
+    ranges[static_cast<std::size_t>(node.id)].end = node.id;
+    for (const ir::ValueId in : node.inputs) {
+      auto& range = ranges[static_cast<std::size_t>(in)];
+      range.end = std::max(range.end, node.id);
+    }
+  }
+  // Graph outputs must survive the whole program.
+  const ir::ValueId last = static_cast<ir::ValueId>(graph.size()) - 1;
+  for (const ir::ValueId out : graph.outputs()) {
+    ranges[static_cast<std::size_t>(out)].end = last;
+  }
+  return ranges;
+}
+
+std::vector<std::vector<ir::ValueId>> values_dying_at(const ir::Graph& graph,
+                                                      const std::vector<LiveRange>& liveness) {
+  std::vector<std::vector<ir::ValueId>> dying(graph.size());
+  for (const ir::Node& node : graph.nodes()) {
+    const auto& range = liveness[static_cast<std::size_t>(node.id)];
+    dying[static_cast<std::size_t>(range.end)].push_back(node.id);
+  }
+  return dying;
+}
+
+}  // namespace temco::runtime

@@ -1,0 +1,33 @@
+// Tensor liveness analysis (lines 11–16 of Algorithm 1).
+//
+// For every value: `begin` is its defining step (= its id, since the node
+// list is the schedule) and `end` is the step of its last use.  Graph outputs
+// stay live to the end of the program.  Both the executor and the analytic
+// memory planner free tensors strictly according to this table, which is the
+// paper's framework-allocation model.
+#pragma once
+
+#include <vector>
+
+#include "ir/graph.hpp"
+
+namespace temco::runtime {
+
+struct LiveRange {
+  ir::ValueId begin = ir::kInvalidValue;
+  ir::ValueId end = ir::kInvalidValue;  ///< last step at which the value is read
+
+  /// The skip-connection "distance" of Algorithm 1.
+  std::int64_t distance() const { return end - begin; }
+};
+
+/// Live range of every value, indexed by ValueId.  A value with no users and
+/// not an output gets end == begin (dead immediately after definition).
+std::vector<LiveRange> compute_liveness(const ir::Graph& graph);
+
+/// For each step t, the ids of values whose last use is t (and that may
+/// therefore be freed right after step t executes).
+std::vector<std::vector<ir::ValueId>> values_dying_at(const ir::Graph& graph,
+                                                      const std::vector<LiveRange>& liveness);
+
+}  // namespace temco::runtime

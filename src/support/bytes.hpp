@@ -1,0 +1,28 @@
+// Human-readable byte formatting for reports and benches.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+namespace temco {
+
+/// Formats a byte count as e.g. "1.50 MiB"; exact for small values.
+inline std::string format_bytes(std::uint64_t bytes) {
+  constexpr std::uint64_t kKiB = 1024;
+  constexpr std::uint64_t kMiB = kKiB * 1024;
+  constexpr std::uint64_t kGiB = kMiB * 1024;
+  char buffer[64];
+  if (bytes >= kGiB) {
+    std::snprintf(buffer, sizeof(buffer), "%.2f GiB", static_cast<double>(bytes) / static_cast<double>(kGiB));
+  } else if (bytes >= kMiB) {
+    std::snprintf(buffer, sizeof(buffer), "%.2f MiB", static_cast<double>(bytes) / static_cast<double>(kMiB));
+  } else if (bytes >= kKiB) {
+    std::snprintf(buffer, sizeof(buffer), "%.2f KiB", static_cast<double>(bytes) / static_cast<double>(kKiB));
+  } else {
+    std::snprintf(buffer, sizeof(buffer), "%llu B", static_cast<unsigned long long>(bytes));
+  }
+  return buffer;
+}
+
+}  // namespace temco

@@ -1,0 +1,65 @@
+// Lightweight contract checking used across the library.
+//
+// TeMCO is a compiler: nearly every invariant violation is a programming error
+// in a pass or a malformed graph handed in by the user, so we fail fast with a
+// rich message rather than limping along with corrupted state.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace temco {
+
+/// Error thrown on violated preconditions and invariants.
+///
+/// Carries the failing expression and the source location so pass authors can
+/// find the offending rewrite quickly.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(std::string message) : std::runtime_error(std::move(message)) {}
+};
+
+namespace detail {
+
+class CheckMessageBuilder {
+ public:
+  CheckMessageBuilder(const char* expr, const char* file, int line) {
+    stream_ << file << ":" << line << ": check failed: " << expr;
+    has_detail_ = false;
+  }
+
+  template <typename T>
+  CheckMessageBuilder& operator<<(const T& value) {
+    if (!has_detail_) {
+      stream_ << " — ";
+      has_detail_ = true;
+    }
+    stream_ << value;
+    return *this;
+  }
+
+  [[noreturn]] void raise() const { throw Error(stream_.str()); }
+
+ private:
+  std::ostringstream stream_;
+  bool has_detail_;
+};
+
+// Consumes a builder and throws; keeps the macro expression-shaped.
+struct CheckRaiser {
+  [[noreturn]] void operator&(const CheckMessageBuilder& builder) const { builder.raise(); }
+};
+
+}  // namespace detail
+}  // namespace temco
+
+/// Always-on check. Usage: TEMCO_CHECK(cond) << "detail " << value;
+#define TEMCO_CHECK(expr)                                                 \
+  if (expr) {                                                             \
+  } else                                                                  \
+    ::temco::detail::CheckRaiser{} &                                      \
+        ::temco::detail::CheckMessageBuilder(#expr, __FILE__, __LINE__)
+
+/// Unconditional failure, for unreachable branches.
+#define TEMCO_FAIL() TEMCO_CHECK(false)

@@ -1,0 +1,97 @@
+// Minimal leveled logger.
+//
+// The compiler passes use this to narrate rewrite decisions (what got fused,
+// which skip connections were rejected by the overhead model, ...).  Output
+// goes to stderr; the level is a process-wide atomic so tests can silence it.
+#pragma once
+
+#include <atomic>
+#include <iostream>
+#include <mutex>
+#include <sstream>
+#include <string_view>
+
+namespace temco {
+
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarn = 2,
+  kError = 3,
+  kOff = 4,
+};
+
+namespace detail {
+
+inline std::atomic<int>& log_level_storage() {
+  static std::atomic<int> level{static_cast<int>(LogLevel::kWarn)};
+  return level;
+}
+
+inline std::mutex& log_mutex() {
+  static std::mutex mutex;
+  return mutex;
+}
+
+inline std::string_view level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+
+class LogLine {
+ public:
+  LogLine(LogLevel level, const char* file, int line) : level_(level) {
+    std::string_view path(file);
+    const auto slash = path.find_last_of('/');
+    if (slash != std::string_view::npos) path.remove_prefix(slash + 1);
+    stream_ << "[" << level_name(level) << " " << path << ":" << line << "] ";
+  }
+
+  ~LogLine() {
+    std::lock_guard<std::mutex> lock(log_mutex());
+    std::cerr << stream_.str() << "\n";
+  }
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace detail
+
+/// Sets the global log threshold; messages below it are discarded.
+inline void set_log_level(LogLevel level) {
+  detail::log_level_storage().store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+inline LogLevel log_level() {
+  return static_cast<LogLevel>(detail::log_level_storage().load(std::memory_order_relaxed));
+}
+
+inline bool log_enabled(LogLevel level) {
+  return static_cast<int>(level) >= static_cast<int>(log_level());
+}
+
+}  // namespace temco
+
+#define TEMCO_LOG(level)                          \
+  if (!::temco::log_enabled(::temco::LogLevel::level)) { \
+  } else                                          \
+    ::temco::detail::LogLine(::temco::LogLevel::level, __FILE__, __LINE__)
+
+#define TEMCO_DEBUG() TEMCO_LOG(kDebug)
+#define TEMCO_INFO() TEMCO_LOG(kInfo)
+#define TEMCO_WARN() TEMCO_LOG(kWarn)
+#define TEMCO_ERROR() TEMCO_LOG(kError)

@@ -1,0 +1,183 @@
+// Edge cases and failure injection across the stack: malformed graphs,
+// degenerate configurations, idempotence, and extreme pass options.
+#include <gtest/gtest.h>
+
+#include "core/temco.hpp"
+#include "decomp/pass.hpp"
+#include "models/zoo.hpp"
+#include "runtime/executor.hpp"
+#include "runtime/planner.hpp"
+#include "support/rng.hpp"
+#include "tensor/compare.hpp"
+
+namespace temco {
+namespace {
+
+using ir::Graph;
+
+TEST(EdgeCaseTest, InputPassthroughGraph) {
+  // The smallest legal graph: output == input.
+  Graph g;
+  const auto x = g.input(Shape{1, 2, 3, 3}, "x");
+  g.set_outputs({x});
+  g.infer_shapes();
+  Rng rng(1);
+  const Tensor input = Tensor::random_normal(Shape{1, 2, 3, 3}, rng);
+  const auto result = runtime::execute(g, {input});
+  EXPECT_EQ(max_abs_diff(result.outputs[0], input), 0.0f);
+  EXPECT_EQ(runtime::plan_memory(g).peak_internal_bytes, input.bytes());
+}
+
+TEST(EdgeCaseTest, DecomposeTwiceIsIdempotent) {
+  ir::Graph g;
+  Rng rng(2);
+  const auto x = g.input(Shape{1, 8, 8, 8}, "x");
+  const auto c = g.conv2d(x, Tensor::random_normal(Shape{16, 8, 3, 3}, rng, 0.2f),
+                          Tensor::zeros(Shape{16}), 1, 1, "conv");
+  g.set_outputs({c});
+  g.infer_shapes();
+
+  const auto once = decomp::decompose(g, {.ratio = 0.25});
+  EXPECT_EQ(once.num_decomposed, 1);
+  const auto twice = decomp::decompose(once.graph, {.ratio = 0.25});
+  EXPECT_EQ(twice.num_decomposed, 0) << "must not re-factorize decomposed sequences";
+  EXPECT_EQ(twice.graph.size(), once.graph.size());
+}
+
+TEST(EdgeCaseTest, FullRankRatioDecomposesNothing) {
+  ir::Graph g;
+  Rng rng(3);
+  const auto x = g.input(Shape{1, 8, 8, 8}, "x");
+  const auto c = g.conv2d(x, Tensor::random_normal(Shape{8, 8, 3, 3}, rng, 0.2f),
+                          Tensor::zeros(Shape{8}), 1, 1, "conv");
+  g.set_outputs({c});
+  g.infer_shapes();
+  const auto result = decomp::decompose(g, {.ratio = 1.0});
+  EXPECT_EQ(result.num_decomposed, 0);
+}
+
+TEST(EdgeCaseTest, OptimizeOriginalModelIsSafeNoOp) {
+  // TeMCO on an undecomposed model: nothing matches, semantics intact.
+  models::ModelConfig config;
+  config.batch = 1;
+  config.image = 32;
+  config.width = 0.125;
+  const auto g = models::build_vgg(11, config);
+  core::OptimizeStats stats;
+  const auto optimized = core::optimize(g, {}, &stats);
+  EXPECT_EQ(stats.fused_kernels, 0);
+  EXPECT_EQ(stats.skips_optimized, 0);
+
+  Rng rng(4);
+  const Tensor input = Tensor::random_normal(Shape{1, 3, 32, 32}, rng);
+  EXPECT_EQ(max_abs_diff(runtime::execute(g, {input}).outputs[0],
+                         runtime::execute(optimized, {input}).outputs[0]),
+            0.0f);
+}
+
+TEST(EdgeCaseTest, ZeroDistanceThresholdTreatsEverythingAsSkip) {
+  models::ModelConfig config;
+  config.batch = 1;
+  config.image = 32;
+  config.width = 0.25;
+  const auto decomposed =
+      decomp::decompose(models::build_unet(true, config), {.ratio = 0.25}).graph;
+  core::TemcoOptions options;
+  options.distance_threshold = 0;
+  core::OptimizeStats stats;
+  const auto optimized = core::optimize(decomposed, options, &stats);
+  // Aggressive, but still correct.
+  Rng rng(5);
+  const Tensor input = Tensor::random_normal(Shape{1, 3, 32, 32}, rng);
+  EXPECT_LT(relative_error(runtime::execute(decomposed, {input}).outputs[0],
+                           runtime::execute(optimized, {input}).outputs[0]),
+            1e-3);
+}
+
+TEST(EdgeCaseTest, HugeDistanceThresholdDisablesSkipOpt) {
+  models::ModelConfig config;
+  config.batch = 1;
+  config.image = 32;
+  config.width = 0.25;
+  const auto decomposed =
+      decomp::decompose(models::build_unet(true, config), {.ratio = 0.25}).graph;
+  core::TemcoOptions options;
+  options.distance_threshold = 1 << 20;
+  core::OptimizeStats stats;
+  core::optimize(decomposed, options, &stats);
+  EXPECT_EQ(stats.skips_optimized, 0);
+  EXPECT_EQ(stats.skips_found, 0);
+}
+
+TEST(EdgeCaseTest, MaxRestoreDepthBoundsRecursion) {
+  models::ModelConfig config;
+  config.batch = 1;
+  config.image = 32;
+  config.width = 0.25;
+  const auto decomposed =
+      decomp::decompose(models::build_densenet(121, config), {.ratio = 0.25}).graph;
+  core::TemcoOptions options;
+  options.max_restore_depth = 1;  // even [lconv] + interior node is too deep
+  core::OptimizeStats stats;
+  core::optimize_skip_connections(decomposed, options, &stats);
+  EXPECT_EQ(stats.skips_optimized, 0);
+  EXPECT_GT(stats.skips_rejected_structure, 0);
+}
+
+TEST(EdgeCaseTest, BatchOneAndLargeBatchProduceSameScaledPlan) {
+  // Peak memory is linear in batch size for every variant (the basis for
+  // the bench scale-invariance argument in DESIGN.md).
+  models::ModelConfig config;
+  config.image = 32;
+  config.width = 0.25;
+  config.batch = 1;
+  const auto p1 = runtime::plan_memory(
+      core::optimize(decomp::decompose(models::build_vgg(11, config), {.ratio = 0.1}).graph, {}));
+  config.batch = 4;
+  const auto p4 = runtime::plan_memory(
+      core::optimize(decomp::decompose(models::build_vgg(11, config), {.ratio = 0.1}).graph, {}));
+  EXPECT_EQ(p4.peak_internal_bytes, 4 * p1.peak_internal_bytes);
+}
+
+TEST(EdgeCaseTest, NonSquareInputsFlowThroughUNet) {
+  // Carvana images are 959×640; verify rectangular spatial dims work through
+  // the whole pipeline (pools/upsamples use independent H/W extents).
+  ir::Graph g;
+  Rng rng(6);
+  const auto x = g.input(Shape{1, 3, 16, 24}, "x");
+  const auto c1 = g.conv2d(x, Tensor::random_normal(Shape{8, 3, 3, 3}, rng, 0.2f),
+                           Tensor::zeros(Shape{8}), 1, 1, "c1");
+  const auto r1 = g.relu(c1, "r1");
+  const auto p = g.pool(r1, ir::PoolKind::kMax, 2, 2, "p");
+  const auto c2 = g.conv2d(p, Tensor::random_normal(Shape{8, 8, 3, 3}, rng, 0.2f),
+                           Tensor::zeros(Shape{8}), 1, 1, "c2");
+  const auto u = g.upsample(c2, 2, "u");
+  const auto cat = g.concat({r1, u}, "cat");
+  const auto out = g.conv2d(cat, Tensor::random_normal(Shape{1, 16, 1, 1}, rng, 0.2f),
+                            Tensor::zeros(Shape{1}), 1, 0, "mask");
+  g.set_outputs({out});
+  g.infer_shapes();
+
+  const auto decomposed = decomp::decompose(g, {.ratio = 0.5}).graph;
+  const auto optimized = core::optimize(decomposed, {});
+  Rng irng(7);
+  const Tensor input = Tensor::random_normal(Shape{1, 3, 16, 24}, irng);
+  EXPECT_LT(max_abs_diff(runtime::execute(decomposed, {input}).outputs[0],
+                         runtime::execute(optimized, {input}).outputs[0]),
+            1e-4f);
+}
+
+TEST(EdgeCaseTest, ExecutorRejectsGraphWithoutShapes) {
+  ir::Graph g;
+  const auto x = g.input(Shape{1, 2, 4, 4}, "x");
+  ir::Node bad;
+  bad.kind = ir::OpKind::kRelu;
+  bad.inputs = {x};
+  const auto r = g.append(std::move(bad));
+  g.set_outputs({r});
+  // infer_shapes() deliberately not called.
+  EXPECT_THROW(runtime::Executor{g}, Error);
+}
+
+}  // namespace
+}  // namespace temco

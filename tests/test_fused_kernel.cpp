@@ -1,0 +1,101 @@
+// Fused lconv-act-[pool]-fconv kernel vs the unfused layer sequence.
+//
+// This is the paper's central semantics-preservation claim for §3.2: the
+// fused kernel must produce the same values as running lconv, activation,
+// (pool,) fconv through separate full-width tensors.
+#include <gtest/gtest.h>
+
+#include "kernels/kernels.hpp"
+#include "support/rng.hpp"
+#include "tensor/compare.hpp"
+
+namespace temco {
+namespace {
+
+struct FusedCase {
+  std::int64_t n, c_reduced, h, w, c_restored, c_out;
+  ir::ActKind act;
+  bool has_pool;
+  ir::PoolKind pool_kind;
+  std::int64_t pool_k, pool_s;
+};
+
+/// Runs the unfused reference: conv1x1 → act → [pool] → conv1x1 with fully
+/// materialized intermediates.
+Tensor unfused_reference(const Tensor& x, const Tensor& w1, const Tensor& b1, const Tensor& w2,
+                         const Tensor& b2, const FusedCase& p) {
+  Tensor restored = Tensor::zeros(Shape{p.n, p.c_restored, p.h, p.w});
+  kernels::conv2d(x, w1, b1, 1, 1, 0, 0, restored);
+  Tensor activated = Tensor::zeros(restored.shape());
+  if (p.act == ir::ActKind::kRelu) {
+    kernels::relu(restored, activated);
+  } else {
+    kernels::silu(restored, activated);
+  }
+  Tensor pre_fconv = activated;
+  if (p.has_pool) {
+    const std::int64_t h_out = (p.h - p.pool_k) / p.pool_s + 1;
+    const std::int64_t w_out = (p.w - p.pool_k) / p.pool_s + 1;
+    Tensor pooled = Tensor::zeros(Shape{p.n, p.c_restored, h_out, w_out});
+    kernels::pool(activated, p.pool_kind, p.pool_k, p.pool_k, p.pool_s, p.pool_s, pooled);
+    pre_fconv = pooled;
+  }
+  Tensor out = Tensor::zeros(
+      Shape{p.n, p.c_out, pre_fconv.shape()[2], pre_fconv.shape()[3]});
+  kernels::conv2d(pre_fconv, w2, b2, 1, 1, 0, 0, out);
+  return out;
+}
+
+class FusedKernelTest : public ::testing::TestWithParam<FusedCase> {};
+
+TEST_P(FusedKernelTest, MatchesUnfusedSequence) {
+  const FusedCase p = GetParam();
+  Rng rng(31 + p.c_reduced + p.c_restored * 3 + (p.has_pool ? 1 : 0));
+  const Tensor x = Tensor::random_normal(Shape{p.n, p.c_reduced, p.h, p.w}, rng);
+  const Tensor w1 = Tensor::random_normal(Shape{p.c_restored, p.c_reduced, 1, 1}, rng, 0.4f);
+  const Tensor b1 = Tensor::random_uniform(Shape{p.c_restored}, rng, -0.3f, 0.3f);
+  const Tensor w2 = Tensor::random_normal(Shape{p.c_out, p.c_restored, 1, 1}, rng, 0.4f);
+  const Tensor b2 = Tensor::random_uniform(Shape{p.c_out}, rng, -0.3f, 0.3f);
+
+  const Tensor expected = unfused_reference(x, w1, b1, w2, b2, p);
+  Tensor got = Tensor::zeros(expected.shape());
+  kernels::fused_conv_act_conv(x, w1, b1, w2, b2, p.act, p.has_pool, p.pool_kind, p.pool_k,
+                               p.pool_s, got);
+  EXPECT_LT(max_abs_diff(got, expected), 5e-4f)
+      << "fused kernel diverged from unfused sequence";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    NoPool, FusedKernelTest,
+    ::testing::Values(
+        FusedCase{1, 2, 4, 4, 8, 3, ir::ActKind::kRelu, false, ir::PoolKind::kMax, 2, 2},
+        FusedCase{2, 3, 8, 8, 16, 4, ir::ActKind::kRelu, false, ir::PoolKind::kMax, 2, 2},
+        FusedCase{2, 5, 7, 9, 20, 6, ir::ActKind::kRelu, false, ir::PoolKind::kMax, 2, 2},
+        FusedCase{1, 4, 6, 6, 12, 3, ir::ActKind::kSilu, false, ir::PoolKind::kMax, 2, 2},
+        FusedCase{4, 8, 10, 10, 32, 8, ir::ActKind::kSilu, false, ir::PoolKind::kMax, 2, 2},
+        FusedCase{1, 1, 3, 3, 4, 1, ir::ActKind::kRelu, false, ir::PoolKind::kMax, 2, 2}));
+
+INSTANTIATE_TEST_SUITE_P(
+    WithPool, FusedKernelTest,
+    ::testing::Values(
+        FusedCase{1, 2, 8, 8, 8, 3, ir::ActKind::kRelu, true, ir::PoolKind::kMax, 2, 2},
+        FusedCase{2, 3, 8, 8, 16, 4, ir::ActKind::kRelu, true, ir::PoolKind::kAvg, 2, 2},
+        FusedCase{1, 4, 9, 9, 12, 5, ir::ActKind::kRelu, true, ir::PoolKind::kMax, 3, 2},
+        FusedCase{2, 4, 9, 9, 12, 5, ir::ActKind::kSilu, true, ir::PoolKind::kAvg, 3, 2},
+        FusedCase{1, 6, 12, 12, 24, 6, ir::ActKind::kSilu, true, ir::PoolKind::kMax, 2, 2},
+        FusedCase{3, 2, 10, 14, 10, 4, ir::ActKind::kRelu, true, ir::PoolKind::kAvg, 2, 2}));
+
+TEST(FusedScratchTest, ScratchIsRowGranular) {
+  // The fused kernel's scratch must scale with W (one restored row), not H·W
+  // (the full restored map) — otherwise fusion would not save memory.
+  const std::int64_t c_restored = 64;
+  const std::int64_t width = 32;
+  const std::int64_t bytes = kernels::fused_scratch_bytes(c_restored, width, false, width);
+  EXPECT_EQ(bytes, c_restored * width * static_cast<std::int64_t>(sizeof(float)));
+  const std::int64_t with_pool = kernels::fused_scratch_bytes(c_restored, width, true, width / 2);
+  EXPECT_EQ(with_pool, (c_restored * width + c_restored * width / 2) *
+                           static_cast<std::int64_t>(sizeof(float)));
+}
+
+}  // namespace
+}  // namespace temco

@@ -1,0 +1,175 @@
+// Graph IR: builders, shape inference, SSA validation, users/FLOPs.
+#include <gtest/gtest.h>
+
+#include "ir/graph.hpp"
+#include "support/rng.hpp"
+
+namespace temco {
+namespace {
+
+using ir::Graph;
+
+Tensor w(std::int64_t co, std::int64_t ci, std::int64_t k) {
+  Rng rng(static_cast<std::uint64_t>(co * 100 + ci * 10 + k));
+  return Tensor::random_normal(Shape{co, ci, k, k}, rng, 0.1f);
+}
+
+Tensor b(std::int64_t c) { return Tensor::zeros(Shape{c}); }
+
+TEST(ShapeInferenceTest, ConvPadStride) {
+  Graph g;
+  const auto x = g.input(Shape{2, 3, 32, 32});
+  const auto c1 = g.conv2d(x, w(8, 3, 3), b(8), 1, 1);
+  const auto c2 = g.conv2d(c1, w(16, 8, 3), b(16), 2, 1);
+  g.set_outputs({c2});
+  g.infer_shapes();
+  EXPECT_EQ(g.node(c1).out_shape, (Shape{2, 8, 32, 32}));
+  EXPECT_EQ(g.node(c2).out_shape, (Shape{2, 16, 16, 16}));
+}
+
+TEST(ShapeInferenceTest, ConvChannelMismatchThrows) {
+  Graph g;
+  const auto x = g.input(Shape{1, 4, 8, 8});
+  g.conv2d(x, w(8, 3, 3), b(8), 1, 1);  // expects 3 channels, input has 4
+  g.set_outputs({1});
+  EXPECT_THROW(g.infer_shapes(), Error);
+}
+
+TEST(ShapeInferenceTest, PoolUpsampleGap) {
+  Graph g;
+  const auto x = g.input(Shape{1, 4, 9, 9});
+  const auto p = g.pool(x, ir::PoolKind::kMax, 3, 2);
+  const auto u = g.upsample(p, 2);
+  const auto gap = g.global_avg_pool(u);
+  g.set_outputs({gap});
+  g.infer_shapes();
+  EXPECT_EQ(g.node(p).out_shape, (Shape{1, 4, 4, 4}));
+  EXPECT_EQ(g.node(u).out_shape, (Shape{1, 4, 8, 8}));
+  EXPECT_EQ(g.node(gap).out_shape, (Shape{1, 4, 1, 1}));
+}
+
+TEST(ShapeInferenceTest, ConcatSumsChannels) {
+  Graph g;
+  const auto x = g.input(Shape{1, 3, 4, 4});
+  const auto y = g.input(Shape{1, 5, 4, 4});
+  const auto c = g.concat({x, y});
+  g.set_outputs({c});
+  g.infer_shapes();
+  EXPECT_EQ(g.node(c).out_shape, (Shape{1, 8, 4, 4}));
+}
+
+TEST(ShapeInferenceTest, ConcatSpatialMismatchThrows) {
+  Graph g;
+  const auto x = g.input(Shape{1, 3, 4, 4});
+  const auto y = g.input(Shape{1, 3, 5, 5});
+  g.concat({x, y});
+  g.set_outputs({2});
+  EXPECT_THROW(g.infer_shapes(), Error);
+}
+
+TEST(ShapeInferenceTest, AddRequiresIdenticalShapes) {
+  Graph g;
+  const auto x = g.input(Shape{1, 3, 4, 4});
+  const auto y = g.input(Shape{1, 4, 4, 4});
+  g.add({x, y});
+  g.set_outputs({2});
+  EXPECT_THROW(g.infer_shapes(), Error);
+}
+
+TEST(ShapeInferenceTest, FlattenLinear) {
+  Graph g;
+  Rng rng(1);
+  const auto x = g.input(Shape{2, 8, 3, 3});
+  const auto f = g.flatten(x);
+  const auto l = g.linear(f, Tensor::random_normal(Shape{10, 72}, rng), b(10));
+  g.set_outputs({l});
+  g.infer_shapes();
+  EXPECT_EQ(g.node(f).out_shape, (Shape{2, 72}));
+  EXPECT_EQ(g.node(l).out_shape, (Shape{2, 10}));
+}
+
+TEST(ShapeInferenceTest, FusedNodeWithPool) {
+  Graph g;
+  Rng rng(2);
+  const auto x = g.input(Shape{1, 4, 8, 8});
+  const auto fused = g.fused_conv_act_conv(
+      x, Tensor::random_normal(Shape{16, 4, 1, 1}, rng), b(16),
+      Tensor::random_normal(Shape{5, 16, 1, 1}, rng), b(5), ir::ActKind::kRelu, true,
+      ir::PoolKind::kMax, 2, 2);
+  g.set_outputs({fused});
+  g.infer_shapes();
+  EXPECT_EQ(g.node(fused).out_shape, (Shape{1, 5, 4, 4}));
+}
+
+TEST(GraphTest, SsaOrderEnforced) {
+  Graph g;
+  g.input(Shape{1, 2, 3, 3});
+  ir::Node bad;
+  bad.kind = ir::OpKind::kRelu;
+  bad.inputs = {5};  // not yet defined
+  EXPECT_THROW(g.append(std::move(bad)), Error);
+}
+
+TEST(GraphTest, UsersListsConsumers) {
+  Graph g;
+  const auto x = g.input(Shape{1, 2, 4, 4});
+  const auto r1 = g.relu(x);
+  const auto r2 = g.relu(x);
+  const auto s = g.add({r1, r2});
+  g.set_outputs({s});
+  const auto users = g.users();
+  EXPECT_EQ(users[static_cast<std::size_t>(x)].size(), 2u);
+  EXPECT_EQ(users[static_cast<std::size_t>(r1)].size(), 1u);
+  EXPECT_TRUE(users[static_cast<std::size_t>(s)].empty());
+}
+
+TEST(GraphTest, VerifyRequiresOutputs) {
+  Graph g;
+  g.input(Shape{1, 1, 2, 2});
+  EXPECT_THROW(g.verify(), Error);
+}
+
+TEST(GraphTest, FlopsAccounting) {
+  Graph g;
+  const auto x = g.input(Shape{1, 4, 8, 8});
+  const auto c = g.conv2d(x, w(8, 4, 3), b(8), 1, 1);
+  const auto r = g.relu(c);
+  g.set_outputs({r});
+  g.infer_shapes();
+  // conv: 2 · (1·8·8·8) · 4·3·3 MACs; relu: one pass over the output.
+  EXPECT_EQ(g.node_flops(c), 2 * (8 * 8 * 8) * 4 * 9);
+  EXPECT_EQ(g.node_flops(r), 8 * 8 * 8);
+  EXPECT_EQ(g.total_flops(), g.node_flops(c) + g.node_flops(r));
+}
+
+TEST(GraphTest, WeightBytesSumsAllConstants) {
+  Graph g;
+  const auto x = g.input(Shape{1, 4, 8, 8});
+  const auto c = g.conv2d(x, w(8, 4, 3), b(8), 1, 1);
+  g.set_outputs({c});
+  g.infer_shapes();
+  EXPECT_EQ(g.total_weight_bytes(), (8 * 4 * 9 + 8) * 4);
+}
+
+TEST(GraphTest, PrinterMentionsOpsAndShapes) {
+  Graph g;
+  const auto x = g.input(Shape{1, 4, 8, 8});
+  const auto c = g.conv2d(x, w(8, 4, 3), b(8), 1, 1, "my_conv");
+  g.set_outputs({c});
+  g.infer_shapes();
+  const std::string text = g.to_string();
+  EXPECT_NE(text.find("conv2d"), std::string::npos);
+  EXPECT_NE(text.find("my_conv"), std::string::npos);
+  EXPECT_NE(text.find("[1, 8, 8, 8]"), std::string::npos);
+}
+
+TEST(GraphTest, DegenerateConvExtentThrows) {
+  Graph g;
+  const auto x = g.input(Shape{1, 4, 2, 2});
+  g.conv2d(x, w(8, 4, 3), b(8), 1, 0);  // 2x2 input, 3x3 kernel, no pad
+  g.set_outputs({1});
+  EXPECT_THROW(g.infer_shapes(), Error);
+}
+
+}  // namespace
+}  // namespace temco

@@ -1,0 +1,186 @@
+// Linear algebra: matmul/transpose/gram, Jacobi eigensolver, truncated SVD,
+// and the pivoted solver.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "linalg/eigen.hpp"
+#include "linalg/matmul.hpp"
+#include "linalg/solve.hpp"
+#include "linalg/svd.hpp"
+#include "support/rng.hpp"
+#include "tensor/compare.hpp"
+
+namespace temco {
+namespace {
+
+TEST(MatmulTest, KnownProduct) {
+  const Tensor a = Tensor::from_values(Shape{2, 3}, {1, 2, 3, 4, 5, 6});
+  const Tensor b = Tensor::from_values(Shape{3, 2}, {7, 8, 9, 10, 11, 12});
+  const Tensor c = linalg::matmul(a, b);
+  EXPECT_FLOAT_EQ(c.at(0, 0), 58.0f);
+  EXPECT_FLOAT_EQ(c.at(0, 1), 64.0f);
+  EXPECT_FLOAT_EQ(c.at(1, 0), 139.0f);
+  EXPECT_FLOAT_EQ(c.at(1, 1), 154.0f);
+}
+
+TEST(MatmulTest, DimensionMismatchThrows) {
+  EXPECT_THROW(linalg::matmul(Tensor::zeros(Shape{2, 3}), Tensor::zeros(Shape{2, 3})), Error);
+}
+
+TEST(MatmulTest, IdentityIsNeutral) {
+  Rng rng(20);
+  const Tensor a = Tensor::random_normal(Shape{5, 5}, rng);
+  Tensor eye = Tensor::zeros(Shape{5, 5});
+  for (std::int64_t i = 0; i < 5; ++i) eye.at(i, i) = 1.0f;
+  EXPECT_LT(max_abs_diff(linalg::matmul(a, eye), a), 1e-6f);
+  EXPECT_LT(max_abs_diff(linalg::matmul(eye, a), a), 1e-6f);
+}
+
+TEST(TransposeTest, DoubleTransposeIsIdentity) {
+  Rng rng(21);
+  const Tensor a = Tensor::random_normal(Shape{3, 7}, rng);
+  EXPECT_EQ(max_abs_diff(linalg::transpose(linalg::transpose(a)), a), 0.0f);
+}
+
+TEST(GramTest, MatchesExplicitProduct) {
+  Rng rng(22);
+  const Tensor a = Tensor::random_normal(Shape{6, 9}, rng);
+  const Tensor g = linalg::gram(a);
+  const Tensor expected = linalg::matmul(a, linalg::transpose(a));
+  EXPECT_LT(max_abs_diff(g, expected), 1e-4f);
+}
+
+TEST(FrobeniusTest, KnownNorm) {
+  const Tensor a = Tensor::from_values(Shape{2, 2}, {3, 0, 0, 4});
+  EXPECT_NEAR(linalg::frobenius_norm(a), 5.0, 1e-6);
+}
+
+TEST(EigenTest, DiagonalMatrix) {
+  Tensor d = Tensor::zeros(Shape{3, 3});
+  d.at(0, 0) = 1.0f;
+  d.at(1, 1) = 5.0f;
+  d.at(2, 2) = 3.0f;
+  const auto eig = linalg::jacobi_eigh(d);
+  EXPECT_NEAR(eig.values[0], 5.0, 1e-8);
+  EXPECT_NEAR(eig.values[1], 3.0, 1e-8);
+  EXPECT_NEAR(eig.values[2], 1.0, 1e-8);
+  // Leading eigenvector is e₁ (up to sign).
+  EXPECT_NEAR(std::fabs(eig.vectors.at(1, 0)), 1.0, 1e-6);
+}
+
+TEST(EigenTest, ReconstructsSymmetricMatrix) {
+  Rng rng(23);
+  const Tensor a = Tensor::random_normal(Shape{8, 12}, rng);
+  const Tensor s = linalg::gram(a);  // SPD
+  const auto eig = linalg::jacobi_eigh(s);
+
+  // V·diag(w)·Vᵀ == S.
+  const std::int64_t n = 8;
+  Tensor reconstructed = Tensor::zeros(Shape{n, n});
+  for (std::int64_t i = 0; i < n; ++i) {
+    for (std::int64_t j = 0; j < n; ++j) {
+      double acc = 0.0;
+      for (std::int64_t k = 0; k < n; ++k) {
+        acc += eig.values[static_cast<std::size_t>(k)] *
+               static_cast<double>(eig.vectors.at(i, k)) * eig.vectors.at(j, k);
+      }
+      reconstructed.at(i, j) = static_cast<float>(acc);
+    }
+  }
+  EXPECT_LT(relative_error(s, reconstructed), 1e-5);
+}
+
+TEST(EigenTest, VectorsAreOrthonormal) {
+  Rng rng(24);
+  const Tensor s = linalg::gram(Tensor::random_normal(Shape{10, 10}, rng));
+  const auto eig = linalg::jacobi_eigh(s);
+  const Tensor vtv = linalg::matmul(linalg::transpose(eig.vectors), eig.vectors);
+  for (std::int64_t i = 0; i < 10; ++i) {
+    for (std::int64_t j = 0; j < 10; ++j) {
+      EXPECT_NEAR(vtv.at(i, j), i == j ? 1.0f : 0.0f, 1e-4f);
+    }
+  }
+}
+
+TEST(SvdTest, FullRankReconstruction) {
+  Rng rng(25);
+  const Tensor a = Tensor::random_normal(Shape{6, 9}, rng);
+  const auto svd = linalg::truncated_svd(a, 6);
+  // U·diag(σ)·Vᵀ == A at full rank.
+  Tensor us = svd.u.clone();
+  for (std::int64_t i = 0; i < 6; ++i) {
+    for (std::int64_t j = 0; j < 6; ++j) {
+      us.at(i, j) *= static_cast<float>(svd.sigma[static_cast<std::size_t>(j)]);
+    }
+  }
+  const Tensor reconstructed = linalg::matmul(us, linalg::transpose(svd.v));
+  EXPECT_LT(relative_error(a, reconstructed), 1e-4);
+}
+
+TEST(SvdTest, TallMatrixPath) {
+  Rng rng(26);
+  const Tensor a = Tensor::random_normal(Shape{12, 5}, rng);  // m > n branch
+  const auto svd = linalg::truncated_svd(a, 5);
+  Tensor us = svd.u.clone();
+  for (std::int64_t i = 0; i < 12; ++i) {
+    for (std::int64_t j = 0; j < 5; ++j) {
+      us.at(i, j) *= static_cast<float>(svd.sigma[static_cast<std::size_t>(j)]);
+    }
+  }
+  EXPECT_LT(relative_error(a, linalg::matmul(us, linalg::transpose(svd.v))), 1e-4);
+}
+
+TEST(SvdTest, SigmaDescendingAndTruncationOptimal) {
+  Rng rng(27);
+  const Tensor a = Tensor::random_normal(Shape{10, 10}, rng);
+  const auto svd = linalg::truncated_svd(a, 10);
+  for (std::size_t i = 1; i < svd.sigma.size(); ++i) {
+    EXPECT_GE(svd.sigma[i - 1], svd.sigma[i] - 1e-9);
+  }
+  // Rank-3 truncation error equals the tail singular values' energy.
+  const auto svd3 = linalg::truncated_svd(a, 3);
+  Tensor us = svd3.u.clone();
+  for (std::int64_t i = 0; i < 10; ++i) {
+    for (std::int64_t j = 0; j < 3; ++j) {
+      us.at(i, j) *= static_cast<float>(svd3.sigma[static_cast<std::size_t>(j)]);
+    }
+  }
+  const Tensor approx = linalg::matmul(us, linalg::transpose(svd3.v));
+  double tail = 0.0;
+  for (std::size_t i = 3; i < svd.sigma.size(); ++i) tail += svd.sigma[i] * svd.sigma[i];
+  double diff = 0.0;
+  for (std::int64_t i = 0; i < a.numel(); ++i) {
+    const double d = static_cast<double>(a[i]) - approx[i];
+    diff += d * d;
+  }
+  EXPECT_NEAR(diff, tail, 0.02 * tail + 1e-6);
+}
+
+TEST(SolveTest, RecoversKnownSolution) {
+  Rng rng(28);
+  const Tensor a = Tensor::from_values(Shape{3, 3}, {4, 1, 0, 1, 3, 1, 0, 1, 2});
+  const Tensor x_true = Tensor::random_normal(Shape{3, 2}, rng);
+  const Tensor b = linalg::matmul(a, x_true);
+  const Tensor x = linalg::solve(a.clone(), b.clone());
+  EXPECT_LT(max_abs_diff(x, x_true), 1e-4f);
+}
+
+TEST(SolveTest, PivotingHandlesZeroDiagonal) {
+  // Leading zero forces a row swap.
+  const Tensor a = Tensor::from_values(Shape{2, 2}, {0, 1, 1, 0});
+  const Tensor b = Tensor::from_values(Shape{2, 1}, {3, 7});
+  const Tensor x = linalg::solve(a.clone(), b.clone());
+  EXPECT_NEAR(x.at(0, 0), 7.0f, 1e-5f);
+  EXPECT_NEAR(x.at(1, 0), 3.0f, 1e-5f);
+}
+
+TEST(SolveTest, SingularMatrixYieldsFiniteSolution) {
+  const Tensor a = Tensor::from_values(Shape{2, 2}, {1, 1, 1, 1});  // rank 1
+  const Tensor b = Tensor::from_values(Shape{2, 1}, {2, 2});
+  const Tensor x = linalg::solve(a.clone(), b.clone());
+  for (const float v : x.span()) EXPECT_TRUE(std::isfinite(v));
+}
+
+}  // namespace
+}  // namespace temco

@@ -1,0 +1,120 @@
+// Model zoo: all 10 models build, verify, infer sane shapes, and execute.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "models/zoo.hpp"
+#include "runtime/executor.hpp"
+#include "runtime/planner.hpp"
+#include "support/rng.hpp"
+#include "tensor/compare.hpp"
+
+namespace temco {
+namespace {
+
+models::ModelConfig tiny() {
+  models::ModelConfig c;
+  c.batch = 1;
+  c.image = 32;
+  c.width = 0.125;
+  c.classes = 7;
+  return c;
+}
+
+TEST(ZooTest, HasTenModelsAcrossFiveFamilies) {
+  const auto& zoo = models::model_zoo();
+  EXPECT_EQ(zoo.size(), 10u);
+  std::set<std::string> families;
+  for (const auto& spec : zoo) families.insert(spec.family);
+  EXPECT_EQ(families.size(), 5u);
+}
+
+TEST(ZooTest, FindModelThrowsOnUnknown) {
+  EXPECT_THROW(models::find_model("transformer"), Error);
+  EXPECT_EQ(models::find_model("vgg16").family, "VGG");
+}
+
+class ZooBuildTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(ZooBuildTest, BuildsVerifiesAndExecutes) {
+  const auto& spec = models::find_model(GetParam());
+  const auto config = tiny();
+  const auto graph = spec.build(config);
+  EXPECT_NO_THROW(graph.verify());
+
+  Rng rng(60);
+  const auto result = runtime::execute(
+      graph, {Tensor::random_normal(Shape{config.batch, 3, config.image, config.image}, rng)});
+  ASSERT_EQ(result.outputs.size(), 1u);
+  const Shape& out = result.outputs[0].shape();
+  if (spec.family == "UNet") {
+    // Segmentation head: full-resolution single-channel mask.
+    EXPECT_EQ(out, (Shape{config.batch, 1, config.image, config.image}));
+  } else {
+    EXPECT_EQ(out, (Shape{config.batch, config.classes}));
+  }
+  for (const float v : result.outputs[0].span()) ASSERT_TRUE(std::isfinite(v));
+  EXPECT_GT(result.peak_internal_bytes, 0);
+  EXPECT_GT(result.weight_bytes, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModels, ZooBuildTest,
+                         ::testing::Values("alexnet", "vgg11", "vgg16", "vgg19", "resnet18",
+                                           "resnet34", "densenet121", "densenet169", "unet",
+                                           "unet_half"));
+
+TEST(ZooTest, SkipConnectionFlagMatchesStructure) {
+  // Families advertised as skip-free must contain no add/concat nodes.
+  const auto config = tiny();
+  for (const auto& spec : models::model_zoo()) {
+    const auto graph = spec.build(config);
+    bool has_join = false;
+    for (const auto& node : graph.nodes()) {
+      if (node.kind == ir::OpKind::kAdd || node.kind == ir::OpKind::kConcat) has_join = true;
+    }
+    EXPECT_EQ(has_join, spec.has_skip_connections) << spec.name;
+  }
+}
+
+TEST(ZooTest, DeterministicWeights) {
+  const auto config = tiny();
+  const auto a = models::build_vgg(11, config);
+  const auto b = models::build_vgg(11, config);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const auto& na = a.node(static_cast<ir::ValueId>(i));
+    const auto& nb = b.node(static_cast<ir::ValueId>(i));
+    ASSERT_EQ(na.weights.size(), nb.weights.size());
+    for (std::size_t j = 0; j < na.weights.size(); ++j) {
+      EXPECT_EQ(max_abs_diff(na.weights[j], nb.weights[j]), 0.0f);
+    }
+  }
+}
+
+TEST(ZooTest, WidthMultiplierScalesChannels) {
+  auto config = tiny();
+  config.width = 0.5;
+  const auto narrow = models::build_vgg(11, config);
+  config.width = 1.0;
+  const auto wide = models::build_vgg(11, config);
+  const auto narrow_plan_bytes = narrow.total_weight_bytes();
+  const auto wide_plan_bytes = wide.total_weight_bytes();
+  EXPECT_LT(narrow_plan_bytes, wide_plan_bytes);
+}
+
+TEST(ZooTest, ResNetStagesDownsample) {
+  auto config = tiny();
+  config.image = 64;
+  const auto graph = models::build_resnet(18, config);
+  // Find the final pre-GAP tensor: 64/2(stem)/2(pool)/2/2/2 = 2 spatial.
+  for (const auto& node : graph.nodes()) {
+    if (node.kind == ir::OpKind::kGlobalAvgPool) {
+      const auto& in_shape = graph.node(node.inputs[0]).out_shape;
+      EXPECT_EQ(in_shape[2], 2);
+      EXPECT_EQ(in_shape[3], 2);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace temco

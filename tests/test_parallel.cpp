@@ -1,0 +1,135 @@
+// Thread pool and parallel_for: coverage, exception propagation, reuse.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "parallel/parallel_for.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace temco {
+namespace {
+
+TEST(ThreadPoolTest, RunsEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  constexpr std::size_t kTasks = 1000;
+  std::vector<std::atomic<int>> counts(kTasks);
+  pool.run(kTasks, [&](std::size_t i) { counts[i].fetch_add(1); });
+  for (const auto& c : counts) EXPECT_EQ(c.load(), 1);
+}
+
+TEST(ThreadPoolTest, ZeroTasksIsNoOp) {
+  ThreadPool pool(2);
+  EXPECT_NO_THROW(pool.run(0, [](std::size_t) { FAIL(); }));
+}
+
+TEST(ThreadPoolTest, SingleThreadPoolStillWorks) {
+  ThreadPool pool(1);
+  std::atomic<int> sum{0};
+  pool.run(100, [&](std::size_t i) { sum.fetch_add(static_cast<int>(i)); });
+  EXPECT_EQ(sum.load(), 4950);
+}
+
+TEST(ThreadPoolTest, ReusableAcrossManyBatches) {
+  // Regression guard for the epoch logic: back-to-back batches whose Batch
+  // objects reuse the same stack slot must each run to completion.
+  ThreadPool pool(4);
+  for (int round = 0; round < 200; ++round) {
+    std::atomic<int> count{0};
+    pool.run(16, [&](std::size_t) { count.fetch_add(1); });
+    ASSERT_EQ(count.load(), 16) << "round " << round;
+  }
+}
+
+TEST(ThreadPoolTest, ExceptionPropagatesToCaller) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      pool.run(64,
+               [](std::size_t i) {
+                 if (i == 13) throw std::runtime_error("boom");
+               }),
+      std::runtime_error);
+  // Pool remains usable afterwards.
+  std::atomic<int> count{0};
+  pool.run(8, [&](std::size_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 8);
+}
+
+TEST(ThreadPoolTest, ConcurrencyCountsCaller) {
+  ThreadPool pool(3);
+  EXPECT_EQ(pool.concurrency(), 3u);
+  ThreadPool solo(1);
+  EXPECT_EQ(solo.concurrency(), 1u);
+}
+
+TEST(ParallelForTest, SumMatchesSerial) {
+  ThreadPool pool(4);
+  constexpr std::size_t kN = 100000;
+  std::vector<int> data(kN, 1);
+  std::atomic<long long> sum{0};
+  ParallelOptions options;
+  options.pool = &pool;
+  options.grain = 128;
+  parallel_for_ranges(
+      kN,
+      [&](std::size_t begin, std::size_t end) {
+        long long local = 0;
+        for (std::size_t i = begin; i < end; ++i) local += data[i];
+        sum.fetch_add(local);
+      },
+      options);
+  EXPECT_EQ(sum.load(), static_cast<long long>(kN));
+}
+
+TEST(ParallelForTest, RangesAreDisjointAndCovering) {
+  ThreadPool pool(4);
+  constexpr std::size_t kN = 4097;  // deliberately not a multiple of anything
+  std::vector<std::atomic<int>> touched(kN);
+  ParallelOptions options;
+  options.pool = &pool;
+  options.grain = 64;
+  parallel_for(
+      kN, [&](std::size_t i) { touched[i].fetch_add(1); }, options);
+  for (std::size_t i = 0; i < kN; ++i) ASSERT_EQ(touched[i].load(), 1) << i;
+}
+
+TEST(ParallelForTest, SmallRangeRunsSerially) {
+  ThreadPool pool(4);
+  ParallelOptions options;
+  options.pool = &pool;
+  options.grain = 1000;
+  const auto caller = std::this_thread::get_id();
+  std::vector<std::thread::id> seen(10);
+  parallel_for(
+      10, [&](std::size_t i) { seen[i] = std::this_thread::get_id(); }, options);
+  for (const auto id : seen) EXPECT_EQ(id, caller);
+}
+
+TEST(ParallelFor2dTest, CoversOuterTimesInner) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  ParallelOptions options;
+  options.pool = &pool;
+  options.grain = 1;
+  parallel_for_2d(
+      17, 11,
+      [&](std::size_t, std::size_t begin, std::size_t end) {
+        count.fetch_add(static_cast<int>(end - begin));
+      },
+      options);
+  EXPECT_EQ(count.load(), 17 * 11);
+}
+
+TEST(GlobalPoolTest, IsSingletonAndUsable) {
+  ThreadPool& a = ThreadPool::global();
+  ThreadPool& b = ThreadPool::global();
+  EXPECT_EQ(&a, &b);
+  std::atomic<int> count{0};
+  a.run(32, [&](std::size_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 32);
+}
+
+}  // namespace
+}  // namespace temco

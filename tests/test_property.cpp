@@ -1,0 +1,215 @@
+// Property-style parameterized suites: invariants that must hold across
+// whole families of inputs, not just hand-picked cases.
+//
+//  P1  planner peak == tracking-allocator peak on randomized DAGs
+//  P2  TeMCO never increases planned peak and never changes outputs,
+//      across a sweep of decomposed chain shapes
+//  P3  Equations (1)–(4) of §2.2 hold exactly for the two-conv example
+#include <gtest/gtest.h>
+
+#include "core/temco.hpp"
+#include "decomp/pass.hpp"
+#include "runtime/executor.hpp"
+#include "runtime/planner.hpp"
+#include "support/rng.hpp"
+#include "tensor/compare.hpp"
+
+namespace temco {
+namespace {
+
+using ir::Graph;
+using ir::ValueId;
+
+// ---- P1: random DAGs ---------------------------------------------------------
+
+class RandomDagTest : public ::testing::TestWithParam<int> {};
+
+/// Random graph of elementwise ops, pools, concats and adds over a few
+/// channel widths — exercises liveness/planner on irregular topologies.
+Graph random_dag(std::uint64_t seed) {
+  Rng rng(seed);
+  Graph g;
+  std::vector<ValueId> values;
+  std::vector<Shape> shapes;
+  const Shape base{1, 4, 8, 8};
+  values.push_back(g.input(base, "x"));
+  shapes.push_back(base);
+
+  for (int step = 0; step < 14; ++step) {
+    const std::size_t pick = static_cast<std::size_t>(rng.below(values.size()));
+    const ValueId v = values[pick];
+    const Shape s = shapes[pick];
+    switch (rng.below(4)) {
+      case 0:
+        values.push_back(g.relu(v));
+        shapes.push_back(s);
+        break;
+      case 1:
+        values.push_back(g.silu(v));
+        shapes.push_back(s);
+        break;
+      case 2: {
+        // add with a same-shaped partner if one exists, else relu.
+        ValueId partner = ir::kInvalidValue;
+        for (std::size_t j = 0; j < values.size(); ++j) {
+          if (j != pick && shapes[j] == s) partner = values[j];
+        }
+        if (partner == ir::kInvalidValue) {
+          values.push_back(g.relu(v));
+        } else {
+          values.push_back(g.add({v, partner}));
+        }
+        shapes.push_back(s);
+        break;
+      }
+      default: {
+        // concat with itself doubles channels.
+        values.push_back(g.concat({v, v}));
+        shapes.push_back(s.with_dim(1, s[1] * 2));
+        break;
+      }
+    }
+  }
+  g.set_outputs({values.back()});
+  g.infer_shapes();
+  return g;
+}
+
+TEST_P(RandomDagTest, PlannerMatchesAllocator) {
+  const auto g = random_dag(static_cast<std::uint64_t>(GetParam()) * 7919);
+  const auto plan = runtime::plan_memory(g);
+  Rng rng(1);
+  const auto result = runtime::execute(g, {Tensor::random_normal(Shape{1, 4, 8, 8}, rng)});
+  EXPECT_EQ(plan.peak_internal_bytes, result.peak_internal_bytes);
+  ASSERT_EQ(plan.steps.size(), result.timeline.size());
+  for (std::size_t i = 0; i < plan.steps.size(); ++i) {
+    EXPECT_EQ(plan.steps[i].live_after, result.timeline[i].live_bytes_after) << "step " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomDagTest, ::testing::Range(0, 12));
+
+// ---- P2: TeMCO invariants over decomposed chains ------------------------------
+
+struct ChainShape {
+  std::int64_t c1, c2, image, batch;
+};
+
+class TemcoInvariantTest : public ::testing::TestWithParam<ChainShape> {};
+
+TEST_P(TemcoInvariantTest, NeverRegressesMemoryOrSemantics) {
+  const ChainShape p = GetParam();
+  Graph g;
+  Rng wrng(p.c1 * 31 + p.c2);
+  const auto x = g.input(Shape{p.batch, 3, p.image, p.image}, "x");
+  auto conv = [&](ValueId v, std::int64_t ci, std::int64_t co, const std::string& n) {
+    return g.conv2d(v, Tensor::random_normal(Shape{co, ci, 3, 3}, wrng, 0.2f),
+                    Tensor::random_uniform(Shape{co}, wrng, -0.1f, 0.1f), 1, 1, n);
+  };
+  auto v = g.relu(conv(x, 3, p.c1, "conv1"), "r1");
+  v = g.relu(conv(v, p.c1, p.c2, "conv2"), "r2");
+  v = g.pool(v, ir::PoolKind::kMax, 2, 2, "pool");
+  v = g.relu(conv(v, p.c2, p.c1, "conv3"), "r3");
+  g.set_outputs({v});
+  g.infer_shapes();
+
+  const auto decomposed = decomp::decompose(g, {.ratio = 0.25});
+  const auto optimized = core::optimize(decomposed.graph, {});
+
+  const auto before = runtime::plan_memory(decomposed.graph);
+  const auto after = runtime::plan_memory(optimized);
+  EXPECT_LE(after.peak_internal_bytes, before.peak_internal_bytes);
+
+  Rng rng(2);
+  const Tensor input = Tensor::random_normal(Shape{p.batch, 3, p.image, p.image}, rng);
+  EXPECT_LT(max_abs_diff(runtime::execute(decomposed.graph, {input}).outputs[0],
+                         runtime::execute(optimized, {input}).outputs[0]),
+            2e-3f);
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, TemcoInvariantTest,
+                         ::testing::Values(ChainShape{16, 32, 16, 1}, ChainShape{32, 16, 16, 2},
+                                           ChainShape{24, 24, 12, 1}, ChainShape{16, 16, 20, 4},
+                                           ChainShape{48, 32, 8, 1}, ChainShape{32, 64, 8, 2}));
+
+// ---- P3: §2.2 equations -----------------------------------------------------
+
+TEST(MemoryModelTest, Equation3TwoConvPeak) {
+  // Figure 3a: conv → relu → conv.  Peak = MAX(CHW + C'H'W', 2C'H'W',
+  // C'H'W' + C''H''W'') per Eq. (3), with N = batch folded into HW.
+  const std::int64_t n = 2, c = 8, cp = 16, cpp = 4, hw = 36;
+  Graph g;
+  Rng rng(3);
+  const auto x = g.input(Shape{n, c, 6, 6});
+  const auto c1 = g.conv2d(x, Tensor::random_normal(Shape{cp, c, 3, 3}, rng, 0.2f),
+                           Tensor::zeros(Shape{cp}), 1, 1);
+  const auto r = g.relu(c1);
+  const auto c2 = g.conv2d(r, Tensor::random_normal(Shape{cpp, cp, 3, 3}, rng, 0.2f),
+                           Tensor::zeros(Shape{cpp}), 1, 1);
+  g.set_outputs({c2});
+  g.infer_shapes();
+
+  const std::int64_t unit = n * hw * 4;  // bytes per channel
+  const std::int64_t expected =
+      std::max({c * unit + cp * unit, 2 * cp * unit, cp * unit + cpp * unit});
+  EXPECT_EQ(runtime::plan_memory(g).peak_internal_bytes, expected);
+}
+
+TEST(MemoryModelTest, Equation4DecomposedPeakStillWide) {
+  // §2.2's point: decomposing does NOT shrink the internal-tensor peak —
+  // the activation's 2·C'H'W' term survives (Eq. 4 reduces to Eq. 3's).
+  const std::int64_t n = 2, c = 16, cp = 32, cpp = 16;
+  Graph g;
+  Rng rng(4);
+  const auto x = g.input(Shape{n, c, 6, 6});
+  const auto c1 = g.conv2d(x, Tensor::random_normal(Shape{cp, c, 3, 3}, rng, 0.2f),
+                           Tensor::zeros(Shape{cp}), 1, 1);
+  const auto r = g.relu(c1);
+  const auto c2 = g.conv2d(r, Tensor::random_normal(Shape{cpp, cp, 3, 3}, rng, 0.2f),
+                           Tensor::zeros(Shape{cpp}), 1, 1);
+  g.set_outputs({c2});
+  g.infer_shapes();
+
+  const auto dense_peak = runtime::plan_memory(g).peak_internal_bytes;
+  const auto decomposed = decomp::decompose(g, {.ratio = 0.1});
+  ASSERT_EQ(decomposed.num_decomposed, 2);
+  const auto decomposed_peak = runtime::plan_memory(decomposed.graph).peak_internal_bytes;
+  EXPECT_EQ(decomposed_peak, dense_peak) << "decomposition alone must not change the peak";
+
+  // ... but TeMCO's fusion does shrink it.
+  const auto optimized = core::optimize(decomposed.graph, {});
+  EXPECT_LT(runtime::plan_memory(optimized).peak_internal_bytes, dense_peak);
+}
+
+TEST(MemoryModelTest, Equations1And2WeightBytes) {
+  // Eq. (1): dense weights CC'K² + C'C''K'².  Eq. (2): decomposed weights
+  // CC₁ + C₁C₂K² + C₂C' + C'C₃ + C₃C₄K² + C₄C''.
+  const std::int64_t c = 20, cp = 40, cpp = 20, k = 3;
+  Graph g;
+  Rng rng(5);
+  const auto x = g.input(Shape{1, c, 8, 8});
+  const auto conv1 = g.conv2d(x, Tensor::random_normal(Shape{cp, c, k, k}, rng, 0.2f),
+                              Tensor::zeros(Shape{cp}), 1, 1);
+  const auto r = g.relu(conv1);
+  const auto conv2 = g.conv2d(r, Tensor::random_normal(Shape{cpp, cp, k, k}, rng, 0.2f),
+                              Tensor::zeros(Shape{cpp}), 1, 1);
+  g.set_outputs({conv2});
+  g.infer_shapes();
+  EXPECT_EQ(g.total_weight_bytes(), (c * cp * k * k + cp + cp * cpp * k * k + cpp) * 4);
+
+  const double ratio = 0.1;
+  const auto dec = decomp::decompose(g, {.ratio = ratio});
+  const std::int64_t c1 = decomp::rank_for(c, ratio);
+  const std::int64_t c2 = decomp::rank_for(cp, ratio);
+  const std::int64_t c3 = decomp::rank_for(cp, ratio);
+  const std::int64_t c4 = decomp::rank_for(cpp, ratio);
+  const std::int64_t expected_weights =
+      (c * c1 + c1 * c2 * k * k + c2 * cp + cp * c3 + c3 * c4 * k * k + c4 * cpp  // Eq. (2)
+       + c1 + c2 + cp + c3 + c4 + cpp) *                                          // biases
+      4;
+  EXPECT_EQ(dec.graph.total_weight_bytes(), expected_weights);
+  EXPECT_LT(dec.graph.total_weight_bytes(), g.total_weight_bytes());
+}
+
+}  // namespace
+}  // namespace temco

@@ -1,0 +1,200 @@
+// Memory-aware scheduler, in-place planner mode, and DOT export.
+#include <gtest/gtest.h>
+
+#include "core/temco.hpp"
+#include "decomp/pass.hpp"
+#include "ir/dot.hpp"
+#include "models/zoo.hpp"
+#include "runtime/executor.hpp"
+#include "runtime/planner.hpp"
+#include "runtime/scheduler.hpp"
+#include "support/rng.hpp"
+#include "tensor/compare.hpp"
+
+namespace temco {
+namespace {
+
+using ir::Graph;
+using ir::ValueId;
+
+// ---- scheduler ----------------------------------------------------------------
+
+TEST(SchedulerTest, ReordersWastefulBranchOrder) {
+  // Two branches hang off x: a heavy one producing a big tensor consumed
+  // late, and a light one.  The program order runs the heavy branch FIRST,
+  // keeping the big tensor alive across the light branch; the scheduler
+  // should defer it.
+  Graph g;
+  const auto x = g.input(Shape{1, 4, 16, 16}, "x");
+  const auto big = g.concat({x, x}, "big");        // 8 ch, stays live...
+  const auto big2 = g.concat({big, big}, "big2");  // 16 ch
+  ValueId light = x;
+  for (int i = 0; i < 4; ++i) light = g.relu(light, "light" + std::to_string(i));
+  const auto light_small = g.pool(light, ir::PoolKind::kMax, 4, 4, "shrink");
+  const auto light_up = g.upsample(light_small, 4, "grow");
+  const auto joined = g.concat({big2, light_up}, "join");
+  g.set_outputs({joined});
+  g.infer_shapes();
+
+  const auto result = runtime::schedule_for_memory(g);
+  EXPECT_LE(result.peak_after, result.peak_before);
+  EXPECT_EQ(result.graph.size(), g.size());
+
+  // Semantics must be untouched by reordering.
+  Rng rng(1);
+  const Tensor input = Tensor::random_normal(Shape{1, 4, 16, 16}, rng);
+  EXPECT_EQ(max_abs_diff(runtime::execute(g, {input}).outputs[0],
+                         runtime::execute(result.graph, {input}).outputs[0]),
+            0.0f);
+}
+
+TEST(SchedulerTest, ChainIsAFixpoint) {
+  // A pure chain has exactly one topological order.
+  Graph g;
+  const auto x = g.input(Shape{1, 2, 8, 8}, "x");
+  auto v = g.relu(x);
+  v = g.silu(v);
+  v = g.pool(v, ir::PoolKind::kMax, 2, 2);
+  g.set_outputs({v});
+  g.infer_shapes();
+  const auto result = runtime::schedule_for_memory(g);
+  EXPECT_EQ(result.peak_after, result.peak_before);
+  for (std::size_t i = 0; i < g.size(); ++i) {
+    EXPECT_EQ(result.graph.node(static_cast<ValueId>(i)).kind,
+              g.node(static_cast<ValueId>(i)).kind);
+  }
+}
+
+TEST(SchedulerTest, NeverWorseAcrossZoo) {
+  models::ModelConfig config;
+  config.batch = 1;
+  config.image = 32;
+  config.width = 0.125;
+  for (const char* name : {"vgg11", "resnet18", "unet_half", "densenet121"}) {
+    const auto graph = models::find_model(name).build(config);
+    const auto result = runtime::schedule_for_memory(graph);
+    EXPECT_LE(result.peak_after, result.peak_before) << name;
+
+    Rng rng(2);
+    const Tensor input = Tensor::random_normal(Shape{1, 3, 32, 32}, rng);
+    EXPECT_LT(max_abs_diff(runtime::execute(graph, {input}).outputs[0],
+                           runtime::execute(result.graph, {input}).outputs[0]),
+              1e-5f)
+        << name;
+  }
+}
+
+TEST(SchedulerTest, ComposesWithTemco) {
+  models::ModelConfig config;
+  config.batch = 1;
+  config.image = 32;
+  config.width = 0.25;
+  const auto decomposed =
+      decomp::decompose(models::build_unet(true, config), {.ratio = 0.25}).graph;
+  const auto optimized = core::optimize(decomposed, {});
+  const auto scheduled = runtime::schedule_for_memory(optimized);
+  EXPECT_LE(scheduled.peak_after, scheduled.peak_before);
+
+  Rng rng(3);
+  const Tensor input = Tensor::random_normal(Shape{1, 3, 32, 32}, rng);
+  EXPECT_LT(max_abs_diff(runtime::execute(decomposed, {input}).outputs[0],
+                         runtime::execute(scheduled.graph, {input}).outputs[0]),
+            2e-3f);
+}
+
+// ---- in-place activation accounting --------------------------------------------
+
+TEST(InplacePlannerTest, ActivationAliasesDyingInput) {
+  Graph g;
+  Rng rng(4);
+  const auto x = g.input(Shape{1, 4, 8, 8}, "x");
+  const auto c = g.conv2d(x, Tensor::random_normal(Shape{16, 4, 3, 3}, rng, 0.2f),
+                          Tensor::zeros(Shape{16}), 1, 1, "conv");
+  const auto r = g.relu(c, "relu");
+  const auto p = g.pool(r, ir::PoolKind::kMax, 2, 2, "pool");
+  g.set_outputs({p});
+  g.infer_shapes();
+
+  const auto strict = runtime::plan_memory(g, {});
+  const auto inplace = runtime::plan_memory(g, {.assume_inplace_activations = true});
+  const std::int64_t map_bytes = 16 * 8 * 8 * 4;
+  const std::int64_t input_bytes = 4 * 8 * 8 * 4;
+  // Strict: conv_out + relu_out live together.  In-place: the pair collapses
+  // and the peak falls back to the conv step (input + output).
+  EXPECT_EQ(strict.peak_internal_bytes, 2 * map_bytes);
+  EXPECT_EQ(inplace.peak_internal_bytes, input_bytes + map_bytes);
+}
+
+TEST(InplacePlannerTest, MultiUseInputIsNotAliased) {
+  // The relu input is also consumed later, so in-place is illegal and the
+  // planner must keep both tensors.
+  Graph g;
+  const auto x = g.input(Shape{1, 4, 4, 4}, "x");
+  const auto a = g.silu(x, "a");
+  const auto r = g.relu(a, "r");
+  const auto join = g.add({a, r}, "join");  // 'a' outlives the relu
+  g.set_outputs({join});
+  g.infer_shapes();
+  const auto strict = runtime::plan_memory(g, {});
+  const auto inplace = runtime::plan_memory(g, {.assume_inplace_activations = true});
+  EXPECT_EQ(strict.peak_internal_bytes, inplace.peak_internal_bytes);
+}
+
+TEST(InplacePlannerTest, ResNetBaselinePeakMovesOffTheStem) {
+  // EXPERIMENTS.md deviation D1: with in-place accounting the decomposed
+  // ResNet peak is lower than the strict stem pair.
+  models::ModelConfig config;
+  config.batch = 2;
+  config.image = 32;
+  config.width = 0.25;
+  const auto decomposed =
+      decomp::decompose(models::build_resnet(18, config), {.ratio = 0.1}).graph;
+  const auto strict = runtime::plan_memory(decomposed, {});
+  const auto inplace = runtime::plan_memory(decomposed, {.assume_inplace_activations = true});
+  EXPECT_LT(inplace.peak_internal_bytes, strict.peak_internal_bytes);
+}
+
+// ---- DOT export -----------------------------------------------------------------
+
+TEST(DotExportTest, ContainsNodesEdgesAndProvenance) {
+  Graph g;
+  Rng rng(5);
+  const auto x = g.input(Shape{1, 8, 8, 8}, "x");
+  const auto c = g.conv2d(x, Tensor::random_normal(Shape{16, 8, 3, 3}, rng, 0.2f),
+                          Tensor::zeros(Shape{16}), 1, 1, "conv");
+  g.set_outputs({c});
+  g.infer_shapes();
+  const auto dec = decomp::decompose(g, {.ratio = 0.25});
+
+  const std::string dot = ir::to_dot(dec.graph);
+  EXPECT_NE(dot.find("digraph temco"), std::string::npos);
+  EXPECT_NE(dot.find("conv.fconv"), std::string::npos);
+  EXPECT_NE(dot.find("->"), std::string::npos);
+  EXPECT_NE(dot.find("#8fce8f"), std::string::npos);  // lconv provenance color
+  EXPECT_NE(dot.find("[1, 16, 8, 8]"), std::string::npos);
+  // Every node declared exactly once.
+  std::size_t count = 0;
+  for (std::size_t pos = dot.find("n0 ["); pos != std::string::npos;
+       pos = dot.find(" [label", pos + 1)) {
+    ++count;
+  }
+  EXPECT_GE(count, dec.graph.size());
+}
+
+TEST(DotExportTest, OptionsToggleDetail) {
+  Graph g;
+  const auto x = g.input(Shape{1, 2, 4, 4}, "x");
+  const auto r = g.relu(x, "r");
+  g.set_outputs({r});
+  g.infer_shapes();
+  ir::DotOptions bare;
+  bare.show_shapes = false;
+  bare.show_weights = false;
+  bare.color_provenance = false;
+  const std::string dot = ir::to_dot(g, bare);
+  EXPECT_EQ(dot.find("[1, 2, 4, 4]"), std::string::npos);
+  EXPECT_EQ(dot.find("fillcolor"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace temco

@@ -1,0 +1,125 @@
+// Graph serialization round-trips: structure, weights, semantics.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/temco.hpp"
+#include "decomp/pass.hpp"
+#include "ir/serialize.hpp"
+#include "models/zoo.hpp"
+#include "runtime/executor.hpp"
+#include "support/rng.hpp"
+#include "tensor/compare.hpp"
+
+namespace temco {
+namespace {
+
+ir::Graph roundtrip(const ir::Graph& graph) {
+  std::stringstream buffer;
+  ir::save_graph(graph, buffer);
+  return ir::load_graph(buffer);
+}
+
+TEST(SerializeTest, RoundTripsStructure) {
+  models::ModelConfig config;
+  config.batch = 1;
+  config.image = 32;
+  config.width = 0.125;
+  const auto graph = models::build_vgg(11, config);
+  const auto loaded = roundtrip(graph);
+
+  ASSERT_EQ(loaded.size(), graph.size());
+  for (std::size_t i = 0; i < graph.size(); ++i) {
+    const auto& a = graph.node(static_cast<ir::ValueId>(i));
+    const auto& b = loaded.node(static_cast<ir::ValueId>(i));
+    EXPECT_EQ(a.kind, b.kind);
+    EXPECT_EQ(a.name, b.name);
+    EXPECT_EQ(a.inputs, b.inputs);
+    EXPECT_EQ(a.out_shape, b.out_shape);
+    EXPECT_EQ(a.provenance, b.provenance);
+    ASSERT_EQ(a.weights.size(), b.weights.size());
+    for (std::size_t j = 0; j < a.weights.size(); ++j) {
+      EXPECT_EQ(max_abs_diff(a.weights[j], b.weights[j]), 0.0f);
+    }
+  }
+  EXPECT_EQ(loaded.outputs(), graph.outputs());
+}
+
+TEST(SerializeTest, LoadedOptimizedGraphComputesIdentically) {
+  // The deployment path: decompose + optimize once, save, load, serve.
+  models::ModelConfig config;
+  config.batch = 2;
+  config.image = 32;
+  config.width = 0.25;
+  const auto decomposed =
+      decomp::decompose(models::build_unet(true, config), {.ratio = 0.25}).graph;
+  const auto optimized = core::optimize(decomposed, {});
+  const auto loaded = roundtrip(optimized);
+
+  Rng rng(9);
+  const Tensor input = Tensor::random_normal(Shape{2, 3, 32, 32}, rng);
+  EXPECT_EQ(max_abs_diff(runtime::execute(optimized, {input}).outputs[0],
+                         runtime::execute(loaded, {input}).outputs[0]),
+            0.0f);
+}
+
+TEST(SerializeTest, PreservesFusedKernelAttrs) {
+  ir::Graph g;
+  Rng rng(10);
+  const auto x = g.input(Shape{1, 4, 8, 8}, "x");
+  const auto fused = g.fused_conv_act_conv(
+      x, Tensor::random_normal(Shape{16, 4, 1, 1}, rng, 0.3f), Tensor::zeros(Shape{16}),
+      Tensor::random_normal(Shape{3, 16, 1, 1}, rng, 0.3f), Tensor::zeros(Shape{3}),
+      ir::ActKind::kSilu, true, ir::PoolKind::kAvg, 3, 2, "fused");
+  g.set_outputs({fused});
+  g.infer_shapes();
+  const auto loaded = roundtrip(g);
+  const auto& node = loaded.node(fused);
+  EXPECT_EQ(node.kind, ir::OpKind::kFusedConvActConv);
+  EXPECT_EQ(node.attrs.act, ir::ActKind::kSilu);
+  EXPECT_TRUE(node.attrs.fused_has_pool);
+  EXPECT_EQ(node.attrs.pool_kind, ir::PoolKind::kAvg);
+  EXPECT_EQ(node.attrs.pool_kh, 3);
+  EXPECT_EQ(node.attrs.pool_sh, 2);
+}
+
+TEST(SerializeTest, RejectsGarbage) {
+  std::stringstream buffer("this is not a graph");
+  EXPECT_THROW(ir::load_graph(buffer), Error);
+}
+
+TEST(SerializeTest, RejectsTruncatedFile) {
+  models::ModelConfig config;
+  config.batch = 1;
+  config.image = 32;
+  config.width = 0.125;
+  std::stringstream buffer;
+  ir::save_graph(models::build_alexnet(config), buffer);
+  const std::string full = buffer.str();
+  std::stringstream truncated(full.substr(0, full.size() / 2));
+  EXPECT_THROW(ir::load_graph(truncated), Error);
+}
+
+TEST(SerializeTest, RejectsWrongVersion) {
+  std::stringstream buffer;
+  buffer.write("TMCO", 4);
+  const std::uint32_t bad_version = 999;
+  buffer.write(reinterpret_cast<const char*>(&bad_version), sizeof(bad_version));
+  EXPECT_THROW(ir::load_graph(buffer), Error);
+}
+
+TEST(SerializeTest, FileRoundTrip) {
+  models::ModelConfig config;
+  config.batch = 1;
+  config.image = 32;
+  config.width = 0.125;
+  const auto graph = models::build_resnet(18, config);
+  const std::string path = "/tmp/temco_test_graph.bin";
+  ir::save_graph_file(graph, path);
+  const auto loaded = ir::load_graph_file(path);
+  EXPECT_EQ(loaded.size(), graph.size());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace temco

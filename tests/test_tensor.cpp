@@ -1,0 +1,110 @@
+// Shape and Tensor basics.
+#include <gtest/gtest.h>
+
+#include "support/rng.hpp"
+#include "tensor/compare.hpp"
+#include "tensor/tensor.hpp"
+
+namespace temco {
+namespace {
+
+TEST(ShapeTest, NumelAndBytes) {
+  const Shape s{2, 3, 4, 5};
+  EXPECT_EQ(s.rank(), 4u);
+  EXPECT_EQ(s.numel(), 120);
+  EXPECT_EQ(s.bytes(), 480);
+  EXPECT_EQ(Shape{}.numel(), 1);  // scalar convention
+}
+
+TEST(ShapeTest, EqualityAndWithDim) {
+  const Shape a{1, 2, 3};
+  const Shape b{1, 2, 3};
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, a.with_dim(1, 7));
+  EXPECT_EQ(a.with_dim(1, 7)[1], 7);
+}
+
+TEST(ShapeTest, RejectsNegativeDims) {
+  EXPECT_THROW(Shape({2, -1}), Error);
+}
+
+TEST(ShapeTest, OutOfRangeAxisThrows) {
+  const Shape s{2, 3};
+  EXPECT_THROW(s.dim(2), Error);
+}
+
+TEST(TensorTest, ZerosAndFull) {
+  const Tensor z = Tensor::zeros(Shape{3, 3});
+  for (const float v : z.span()) EXPECT_EQ(v, 0.0f);
+  const Tensor f = Tensor::full(Shape{2, 2}, 1.5f);
+  for (const float v : f.span()) EXPECT_EQ(v, 1.5f);
+}
+
+TEST(TensorTest, UndefinedTensorThrowsOnAccess) {
+  Tensor t;
+  EXPECT_FALSE(t.defined());
+  EXPECT_THROW(t.data(), Error);
+}
+
+TEST(TensorTest, At4dIndexing) {
+  Tensor t = Tensor::zeros(Shape{2, 3, 4, 5});
+  t.at(1, 2, 3, 4) = 42.0f;
+  EXPECT_EQ(t[t.numel() - 1], 42.0f);  // last element in row-major order
+  EXPECT_THROW(t.at(2, 0, 0, 0), Error);
+  EXPECT_THROW(t.at(0, 0, 0, 5), Error);
+}
+
+TEST(TensorTest, CloneIsDeep) {
+  Tensor a = Tensor::full(Shape{4}, 1.0f);
+  Tensor b = a.clone();
+  b[0] = 9.0f;
+  EXPECT_EQ(a[0], 1.0f);
+}
+
+TEST(TensorTest, ReshapeSharesStorage) {
+  Tensor a = Tensor::zeros(Shape{2, 6});
+  Tensor b = a.reshaped(Shape{3, 4});
+  b.at(0, 0) = 5.0f;
+  EXPECT_EQ(a.at(0, 0), 5.0f);
+  EXPECT_THROW(a.reshaped(Shape{5, 5}), Error);
+}
+
+TEST(TensorTest, FromValuesChecksCount) {
+  EXPECT_THROW(Tensor::from_values(Shape{3}, {1.0f, 2.0f}), Error);
+  const Tensor t = Tensor::from_values(Shape{2, 2}, {1, 2, 3, 4});
+  EXPECT_EQ(t.at(1, 1), 4.0f);
+}
+
+TEST(TensorTest, RandomIsDeterministicPerSeed) {
+  Rng a(5);
+  Rng b(5);
+  const Tensor x = Tensor::random_normal(Shape{100}, a);
+  const Tensor y = Tensor::random_normal(Shape{100}, b);
+  EXPECT_EQ(max_abs_diff(x, y), 0.0f);
+}
+
+TEST(CompareTest, MaxAbsDiffAndAllclose) {
+  const Tensor a = Tensor::from_values(Shape{3}, {1.0f, 2.0f, 3.0f});
+  const Tensor b = Tensor::from_values(Shape{3}, {1.0f, 2.5f, 3.0f});
+  EXPECT_FLOAT_EQ(max_abs_diff(a, b), 0.5f);
+  EXPECT_FALSE(allclose(a, b));
+  EXPECT_TRUE(allclose(a, a));
+  EXPECT_TRUE(allclose(a, b, 0.0f, 0.6f));
+}
+
+TEST(CompareTest, RelativeError) {
+  const Tensor a = Tensor::from_values(Shape{2}, {3.0f, 4.0f});  // norm 5
+  const Tensor b = Tensor::from_values(Shape{2}, {3.0f, 4.5f});  // diff norm 0.5
+  EXPECT_NEAR(relative_error(a, b), 0.1, 1e-6);
+  const Tensor z = Tensor::zeros(Shape{2});
+  EXPECT_EQ(relative_error(z, z), 0.0);
+}
+
+TEST(CompareTest, ShapeMismatchThrows) {
+  const Tensor a = Tensor::zeros(Shape{2});
+  const Tensor b = Tensor::zeros(Shape{3});
+  EXPECT_THROW(max_abs_diff(a, b), Error);
+}
+
+}  // namespace
+}  // namespace temco
