@@ -1,0 +1,73 @@
+// Arena packing quality and zero-malloc execution cost across the zoo.
+//
+// For each model's TeMCO-optimized graph this bench reports how tightly the
+// greedy best-fit interval packer (runtime/arena.cpp) fits the liveness
+// intervals into one slab:
+//   peak     — analytic peak from the §2.2 alloc/free model (plus fused
+//              scratch), the information-theoretic floor for any arena
+//   arena    — slab size the packer actually needs
+//   ratio    — arena / peak (1.00 = perfect packing; CI asserts ≤ 1.25)
+// and the wall-clock delta between the malloc-per-node reference executor
+// and the zero-allocation arena executor on the same graph.
+#include "bench/common.hpp"
+#include "runtime/arena.hpp"
+#include "support/timer.hpp"
+
+using namespace temco;
+
+namespace {
+
+double time_executor(runtime::Executor& executor, const Tensor& input, int repeats) {
+  executor.run({input});  // warm-up
+  Timer timer;
+  for (int i = 0; i < repeats; ++i) executor.run({input});
+  return timer.elapsed_seconds() / repeats;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto bench = temco::bench::parse_args(argc, argv);
+  std::printf("=== Arena packing: best-fit interval packing vs analytic peak ===\n");
+  std::printf("(width %.3g, image %lld, batch %lld, Tucker ratio %.2g)\n\n", bench.width,
+              static_cast<long long>(bench.image), static_cast<long long>(bench.batch),
+              bench.ratio);
+  std::printf("%-14s %12s %12s %7s %8s %12s %12s %9s\n", "model", "peak", "arena", "ratio",
+              "allocs", "reference", "arena-exec", "speedup");
+
+  std::vector<double> ratios;
+  std::vector<double> speedups;
+  for (const auto& name : bench.models) {
+    const auto& spec = models::find_model(name);
+    const auto original = spec.build(temco::bench::model_config(bench, spec));
+    const auto decomposed = temco::bench::decomposed_baseline(original, bench);
+    const auto optimized = core::optimize(decomposed, {});
+
+    const auto plan = runtime::plan_memory(optimized);
+    const auto arena = runtime::plan_arena(optimized);
+    const double ratio =
+        static_cast<double>(arena.arena_bytes) / static_cast<double>(plan.peak_with_scratch);
+    ratios.push_back(ratio);
+
+    const Tensor input = temco::bench::random_input(optimized, 99);
+    runtime::Executor reference(optimized);
+    runtime::Executor zero_malloc(optimized, {.use_arena = true});
+    const int repeats = 3;
+    const double t_ref = time_executor(reference, input, repeats);
+    const double t_arena = time_executor(zero_malloc, input, repeats);
+    const double speedup = t_ref / t_arena;
+    speedups.push_back(speedup);
+
+    // One reference run counts its allocations (weights excluded: they are
+    // owned by the graph, not the executor).
+    const auto ref_result = reference.run({input});
+    std::printf("%-14s %12s %12s %6.2fx %8lld %10.1fms %10.1fms %8.2fx\n", name.c_str(),
+                format_bytes(plan.peak_with_scratch).c_str(),
+                format_bytes(arena.arena_bytes).c_str(), ratio,
+                static_cast<long long>(ref_result.heap_allocations), 1e3 * t_ref, 1e3 * t_arena,
+                speedup);
+  }
+  std::printf("\ngeomean packing ratio: %.3fx   geomean arena speedup: %.2fx\n",
+              temco::bench::geomean(ratios), temco::bench::geomean(speedups));
+  return 0;
+}

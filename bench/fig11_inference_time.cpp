@@ -12,8 +12,8 @@ using namespace temco;
 
 namespace {
 
-double time_graph(const ir::Graph& graph, int repeats) {
-  runtime::Executor executor(graph);
+double time_graph(const ir::Graph& graph, int repeats, bool use_arena = false) {
+  runtime::Executor executor(graph, {.use_arena = use_arena});
   const Tensor input = temco::bench::random_input(graph, 99);
   executor.run({input});  // warm-up
   Timer timer;
@@ -28,10 +28,12 @@ int main(int argc, char** argv) {
   std::printf("=== Figure 11: end-to-end inference time (CPU substrate) ===\n");
   std::printf("(width %.3g, image %lld, Tucker ratio %.2g)\n\n", bench.width,
               static_cast<long long>(bench.image), bench.ratio);
-  std::printf("%-14s %6s %14s %14s %10s\n", "model", "batch", "decomposed", "temco", "overhead");
+  std::printf("%-14s %6s %14s %14s %14s %10s %10s\n", "model", "batch", "decomposed", "temco",
+              "temco+arena", "overhead", "arena");
 
   for (const std::int64_t batch : {std::int64_t{4}, std::int64_t{32}}) {
     std::vector<double> overheads;
+    std::vector<double> arena_gains;
     for (const auto& name : bench.models) {
       auto batch_bench = bench;
       batch_bench.batch = batch;
@@ -43,14 +45,20 @@ int main(int argc, char** argv) {
       const int repeats = batch >= 32 ? 1 : 3;
       const double t_dec = time_graph(decomposed, repeats);
       const double t_opt = time_graph(optimized, repeats);
+      // Same optimized graph, zero-malloc arena execution (§2.2's static
+      // planning regime): the delta isolates allocator churn.
+      const double t_arena = time_graph(optimized, repeats, /*use_arena=*/true);
       const double overhead = t_opt / t_dec;
+      const double arena_gain = t_opt / t_arena;
       overheads.push_back(overhead);
-      std::printf("%-14s %6lld %12.1fms %12.1fms %9.2fx\n", name.c_str(),
-                  static_cast<long long>(batch), 1e3 * t_dec, 1e3 * t_opt, overhead);
+      arena_gains.push_back(arena_gain);
+      std::printf("%-14s %6lld %12.1fms %12.1fms %12.1fms %9.2fx %9.2fx\n", name.c_str(),
+                  static_cast<long long>(batch), 1e3 * t_dec, 1e3 * t_opt, 1e3 * t_arena,
+                  overhead, arena_gain);
     }
-    std::printf("geomean overhead at batch %lld: %.2fx (paper: %s)\n\n",
+    std::printf("geomean overhead at batch %lld: %.2fx (paper: %s); arena speedup %.2fx\n\n",
                 static_cast<long long>(batch), temco::bench::geomean(overheads),
-                batch == 4 ? "1.08x" : "1.70x");
+                batch == 4 ? "1.08x" : "1.70x", temco::bench::geomean(arena_gains));
   }
   return 0;
 }

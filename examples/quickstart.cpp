@@ -4,6 +4,7 @@
 //   2. Tucker-decompose its convolutions (the §4.1 baseline)
 //   3. run the TeMCO optimizer
 //   4. execute all three variants, compare outputs and peak memory
+//   5. re-run the optimized graph on the static arena (zero-malloc) executor
 //
 // Build & run:  ./build/examples/quickstart
 #include <cstdio>
@@ -85,6 +86,19 @@ int main() {
   report("original", original, input, nullptr);
   report("decomposed", decomposed.graph, input, &reference);
   report("temco", optimized, input, &reference);
+
+  // Step 5: deployment mode — plan every tensor offset up front and run the
+  // whole graph from one preallocated slab, with zero per-node mallocs.
+  runtime::Executor arena_executor(optimized, {.use_arena = true});
+  const auto arena_result = arena_executor.run({input});
+  const auto temco_result = runtime::execute(optimized, {input});
+  std::printf("\narena executor: slab %s, %lld heap allocations (reference executor: %lld), "
+              "outputs bitwise-identical: %s\n",
+              format_bytes(static_cast<std::uint64_t>(arena_result.arena_bytes)).c_str(),
+              static_cast<long long>(arena_result.heap_allocations),
+              static_cast<long long>(temco_result.heap_allocations),
+              max_abs_diff(arena_result.outputs[0], temco_result.outputs[0]) == 0.0f ? "yes"
+                                                                                    : "NO");
 
   std::printf("\nOptimized graph:\n%s", optimized.to_string().c_str());
   return 0;

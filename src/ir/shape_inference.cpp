@@ -20,6 +20,9 @@ std::int64_t conv_out_extent(std::int64_t in, std::int64_t kernel, std::int64_t 
 }
 
 std::int64_t pool_out_extent(std::int64_t in, std::int64_t kernel, std::int64_t stride) {
+  // An input smaller than the window yields one clipped window (the kernels
+  // clip reads to the input extent), matching ceil-mode pooling frameworks.
+  if (in < kernel) return 1;
   const std::int64_t out = (in - kernel) / stride + 1;
   TEMCO_CHECK(out >= 1) << "degenerate pool output extent: in=" << in << " k=" << kernel
                         << " s=" << stride;

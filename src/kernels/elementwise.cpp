@@ -37,7 +37,6 @@ void pool(const Tensor& x, ir::PoolKind kind, std::int64_t kh, std::int64_t kw, 
   const std::int64_t w_out = out.shape()[3];
   const float* px = x.data();
   float* po = out.data();
-  const float inv_area = 1.0f / static_cast<float>(kh * kw);
 
   parallel_for_2d(
       static_cast<std::size_t>(n_batch * channels), static_cast<std::size_t>(h_out * w_out),
@@ -45,21 +44,26 @@ void pool(const Tensor& x, ir::PoolKind kind, std::int64_t kh, std::int64_t kw, 
         const float* xmap = px + static_cast<std::int64_t>(task) * h_in * w_in;
         float* omap = po + static_cast<std::int64_t>(task) * h_out * w_out;
         for (std::int64_t oh = 0; oh < h_out; ++oh) {
+          // Windows are clipped to the input extent (an input smaller than the
+          // kernel produces one clipped window — see pool_out_extent); average
+          // pooling divides by the clipped window area.
+          const std::int64_t r_hi = std::min(kh, h_in - oh * sh);
           for (std::int64_t ow = 0; ow < w_out; ++ow) {
+            const std::int64_t s_hi = std::min(kw, w_in - ow * sw);
             if (kind == ir::PoolKind::kMax) {
               float best = -std::numeric_limits<float>::infinity();
-              for (std::int64_t r = 0; r < kh; ++r) {
+              for (std::int64_t r = 0; r < r_hi; ++r) {
                 const float* xrow = xmap + (oh * sh + r) * w_in + ow * sw;
-                for (std::int64_t s = 0; s < kw; ++s) best = std::max(best, xrow[s]);
+                for (std::int64_t s = 0; s < s_hi; ++s) best = std::max(best, xrow[s]);
               }
               omap[oh * w_out + ow] = best;
             } else {
               float acc = 0.0f;
-              for (std::int64_t r = 0; r < kh; ++r) {
+              for (std::int64_t r = 0; r < r_hi; ++r) {
                 const float* xrow = xmap + (oh * sh + r) * w_in + ow * sw;
-                for (std::int64_t s = 0; s < kw; ++s) acc += xrow[s];
+                for (std::int64_t s = 0; s < s_hi; ++s) acc += xrow[s];
               }
-              omap[oh * w_out + ow] = acc * inv_area;
+              omap[oh * w_out + ow] = acc * (1.0f / static_cast<float>(r_hi * s_hi));
             }
           }
         }

@@ -17,6 +17,7 @@
 
 #include "kernels/kernels.hpp"
 #include "parallel/parallel_for.hpp"
+#include "parallel/thread_pool.hpp"
 
 namespace temco::kernels {
 
@@ -41,7 +42,8 @@ std::int64_t fused_scratch_bytes(std::int64_t restored_channels, std::int64_t wi
 
 void fused_conv_act_conv(const Tensor& x, const Tensor& w1, const Tensor& b1, const Tensor& w2,
                          const Tensor& b2, ir::ActKind act, bool has_pool, ir::PoolKind pool_kind,
-                         std::int64_t pool_k, std::int64_t pool_s, Tensor& out) {
+                         std::int64_t pool_k, std::int64_t pool_s, Tensor& out, float* scratch,
+                         std::int64_t scratch_slot_floats, std::size_t scratch_slots) {
   const std::int64_t n_batch = x.shape()[0];
   const std::int64_t c_reduced = x.shape()[1];   // C2: input reduced channels
   const std::int64_t h_in = x.shape()[2];
@@ -60,28 +62,29 @@ void fused_conv_act_conv(const Tensor& x, const Tensor& w1, const Tensor& b1, co
   const float* pb2 = b2.data();
   float* po = out.data();
 
-  // One task per (batch, output row); scratch is reused across the rows a
-  // worker processes within its chunk.
-  parallel_for_ranges(
-      static_cast<std::size_t>(n_batch * h_out),
-      [&](std::size_t begin, std::size_t end) {
-        std::vector<float> restored(static_cast<std::size_t>(c_restored * w_in));
-        std::vector<float> pooled(
-            has_pool ? static_cast<std::size_t>(c_restored * w_out) : std::size_t{0});
+  const std::int64_t restored_floats = c_restored * w_in;
+  const std::int64_t pooled_floats = has_pool ? c_restored * w_out : 0;
+
+  // One task per (batch, output row); a worker's scratch is reused across the
+  // rows it processes.  Row results do not depend on how rows are grouped
+  // into workers, so both scratch modes below are bitwise-identical.
+  auto process_rows = [&](std::size_t begin, std::size_t end, float* restored, float* pooled) {
         for (std::size_t task = begin; task < end; ++task) {
           const std::int64_t n = static_cast<std::int64_t>(task) / h_out;
           const std::int64_t oh = static_cast<std::int64_t>(task) % h_out;
           const float* xbase = px + n * c_reduced * h_in * w_in;
 
-          const std::int64_t rows = has_pool ? pool_k : 1;
+          // Pool windows are clipped to the input extent (inputs smaller than
+          // the window yield one clipped window — see pool_out_extent).
+          const std::int64_t rows = has_pool ? std::min(pool_k, h_in - oh * pool_s) : 1;
           if (has_pool) {
             const float init = pool_kind == ir::PoolKind::kMax
                                    ? -std::numeric_limits<float>::infinity()
                                    : 0.0f;
-            std::fill(pooled.begin(), pooled.end(), init);
+            std::fill(pooled, pooled + pooled_floats, init);
           }
 
-          float* row_target = restored.data();
+          float* row_target = restored;
           for (std::int64_t r = 0; r < rows; ++r) {
             const std::int64_t ih = has_pool ? oh * pool_s + r : oh;
             // --- lconv: restore one spatial row to C′ channels -------------
@@ -108,16 +111,17 @@ void fused_conv_act_conv(const Tensor& x, const Tensor& w1, const Tensor& b1, co
             if (has_pool) {
               for (std::int64_t cp = 0; cp < c_restored; ++cp) {
                 const float* rrow = row_target + cp * w_in;
-                float* prow = pooled.data() + cp * w_out;
+                float* prow = pooled + cp * w_out;
                 for (std::int64_t ow = 0; ow < w_out; ++ow) {
                   const float* win = rrow + ow * pool_s;
+                  const std::int64_t s_hi = std::min(pool_k, w_in - ow * pool_s);
                   if (pool_kind == ir::PoolKind::kMax) {
                     float best = prow[ow];
-                    for (std::int64_t s = 0; s < pool_k; ++s) best = std::max(best, win[s]);
+                    for (std::int64_t s = 0; s < s_hi; ++s) best = std::max(best, win[s]);
                     prow[ow] = best;
                   } else {
                     float acc = prow[ow];
-                    for (std::int64_t s = 0; s < pool_k; ++s) acc += win[s];
+                    for (std::int64_t s = 0; s < s_hi; ++s) acc += win[s];
                     prow[ow] = acc;
                   }
                 }
@@ -125,10 +129,13 @@ void fused_conv_act_conv(const Tensor& x, const Tensor& w1, const Tensor& b1, co
             }
           }
 
-          const float* fconv_in = has_pool ? pooled.data() : restored.data();
+          const float* fconv_in = has_pool ? pooled : restored;
+          // Clipping only happens when the input is smaller than the window
+          // (then the single window covers min(k, extent)), so the average
+          // divisor is uniform across the row.
           const float avg_scale =
               has_pool && pool_kind == ir::PoolKind::kAvg
-                  ? 1.0f / static_cast<float>(pool_k * pool_k)
+                  ? 1.0f / static_cast<float>(rows * std::min(pool_k, w_in))
                   : 1.0f;
           // --- fconv: reduce the (pooled) restored row to C3 channels -------
           for (std::int64_t c3 = 0; c3 < c_out; ++c3) {
@@ -143,8 +150,40 @@ void fused_conv_act_conv(const Tensor& x, const Tensor& w1, const Tensor& b1, co
             }
           }
         }
-      },
-      ParallelOptions{.grain = 1});
+  };
+
+  const std::size_t tasks = static_cast<std::size_t>(n_batch * h_out);
+  if (scratch != nullptr) {
+    // Arena mode: rows are striped statically over preplanned scratch slots;
+    // nothing is allocated.
+    TEMCO_CHECK(scratch_slots >= 1 && scratch_slot_floats >= restored_floats + pooled_floats)
+        << "fused kernel scratch region too small: " << scratch_slot_floats << " floats/slot, need "
+        << restored_floats + pooled_floats;
+    const std::size_t slots = std::min(scratch_slots, std::max<std::size_t>(tasks, 1));
+    auto run_slot = [&](std::size_t slot, std::size_t begin, std::size_t end) {
+      float* base = scratch + static_cast<std::int64_t>(slot) * scratch_slot_floats;
+      process_rows(begin, end, base, base + restored_floats);
+    };
+    if (slots == 1) {
+      run_slot(0, 0, tasks);
+    } else {
+      const std::size_t chunk = (tasks + slots - 1) / slots;
+      ThreadPool::global().run(slots, [&](std::size_t slot) {
+        const std::size_t begin = slot * chunk;
+        const std::size_t end = std::min(tasks, begin + chunk);
+        if (begin < end) run_slot(slot, begin, end);
+      });
+    }
+  } else {
+    parallel_for_ranges(
+        tasks,
+        [&](std::size_t begin, std::size_t end) {
+          std::vector<float> restored(static_cast<std::size_t>(restored_floats));
+          std::vector<float> pooled(static_cast<std::size_t>(pooled_floats));
+          process_rows(begin, end, restored.data(), pooled.data());
+        },
+        ParallelOptions{.grain = 1});
+  }
 }
 
 }  // namespace temco::kernels

@@ -59,9 +59,17 @@ void softmax(const Tensor& x, Tensor& out);
 /// w2 [C3,C′,1,1].  The full-width intermediate (C′×H×W) is never
 /// materialized — only a per-row scratch of C′·W floats exists at a time,
 /// mirroring the tile buffers the CUDA kernel keeps in shared memory.
+///
+/// Scratch policy: with `scratch == nullptr` each worker allocates its own
+/// row buffers (the measured framework model).  An arena-backed executor
+/// instead passes a preplanned region of `scratch_slots` slots, each
+/// `scratch_slot_floats` floats, and the kernel runs without touching the
+/// heap; the two modes produce bitwise-identical outputs.
 void fused_conv_act_conv(const Tensor& x, const Tensor& w1, const Tensor& b1, const Tensor& w2,
                          const Tensor& b2, ir::ActKind act, bool has_pool, ir::PoolKind pool_kind,
-                         std::int64_t pool_k, std::int64_t pool_s, Tensor& out);
+                         std::int64_t pool_k, std::int64_t pool_s, Tensor& out,
+                         float* scratch = nullptr, std::int64_t scratch_slot_floats = 0,
+                         std::size_t scratch_slots = 0);
 
 /// Scratch bytes the fused kernel needs per worker thread (reported to the
 /// memory planner so the Fig. 10 accounting stays honest).

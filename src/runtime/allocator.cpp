@@ -2,11 +2,15 @@
 
 #include <algorithm>
 
+#include "support/align.hpp"
+
 namespace temco::runtime {
 
 Buffer TrackingAllocator::allocate(std::int64_t numel) {
   TEMCO_CHECK(numel >= 0);
-  const std::int64_t bytes = numel * static_cast<std::int64_t>(sizeof(float));
+  // Charge the same 64-byte size class the analytic planner and the arena
+  // packer count, so the three accountants can be compared with ==.
+  const std::int64_t bytes = align_up(numel * static_cast<std::int64_t>(sizeof(float)));
   {
     std::lock_guard<std::mutex> lock(mutex_);
     live_ += bytes;

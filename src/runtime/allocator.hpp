@@ -5,7 +5,9 @@
 // each layer's output at definition and frees tensors after their last use
 // (§2.2).  This allocator hands out tensor buffers whose deleters report
 // frees back, so "live bytes" and "peak bytes" are measured, not estimated —
-// the analytic planner is cross-checked against it in tests.
+// the analytic planner is cross-checked against it in tests.  Live/peak
+// accounting rounds every buffer to kTensorAlignment (64-byte) size classes,
+// matching the planner and the arena packer byte for byte.
 #pragma once
 
 #include <cstdint>

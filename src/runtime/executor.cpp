@@ -1,103 +1,157 @@
 #include "runtime/executor.hpp"
 
 #include <algorithm>
+#include <cstdlib>
+#include <cstring>
 
 #include "kernels/kernels.hpp"
+#include "runtime/planner.hpp"
+#include "support/align.hpp"
 #include "support/timer.hpp"
 
 namespace temco::runtime {
 
 namespace {
 
-/// Dispatches one node onto the kernel library.  `values` holds the tensor
-/// for every already-executed value (empty slots for freed ones).
-void run_node(const ir::Graph& graph, const ir::Node& node, std::vector<Tensor>& values,
-              Tensor& out) {
-  using ir::OpKind;
-  auto in = [&](std::size_t i) -> const Tensor& {
-    const Tensor& t = values[static_cast<std::size_t>(node.inputs[i])];
-    TEMCO_CHECK(t.defined()) << node.name << ": input " << i << " was freed too early";
-    return t;
-  };
+/// Per-worker scratch handed to fused kernels; zeroed on the reference path
+/// (kernels then allocate their own row buffers, the measured §2.2 regime).
+struct FusedScratch {
+  float* base = nullptr;
+  std::int64_t slot_floats = 0;
+  std::size_t slots = 0;
+};
 
+/// Dispatches one node onto the kernel library.  `in` holds one tensor per
+/// node input, in order; both execution paths share this function so they
+/// cannot diverge behaviorally.
+void run_node(const ir::Node& node, const std::vector<const Tensor*>& in, Tensor& out,
+              const FusedScratch& scratch) {
+  using ir::OpKind;
   switch (node.kind) {
     case OpKind::kInput:
       TEMCO_FAIL() << "input nodes are not executed";
       break;
     case OpKind::kConv2d:
-      kernels::conv2d(in(0), node.weights[0], node.weights[1], node.attrs.stride_h,
+      kernels::conv2d(*in[0], node.weights[0], node.weights[1], node.attrs.stride_h,
                       node.attrs.stride_w, node.attrs.pad_h, node.attrs.pad_w, out);
       break;
     case OpKind::kDepthwiseConv2d:
-      kernels::depthwise_conv2d(in(0), node.weights[0], node.weights[1], node.attrs.stride_h,
+      kernels::depthwise_conv2d(*in[0], node.weights[0], node.weights[1], node.attrs.stride_h,
                                 node.attrs.stride_w, node.attrs.pad_h, node.attrs.pad_w, out);
       break;
     case OpKind::kRelu:
-      kernels::relu(in(0), out);
+      kernels::relu(*in[0], out);
       break;
     case OpKind::kSilu:
-      kernels::silu(in(0), out);
+      kernels::silu(*in[0], out);
       break;
     case OpKind::kPool:
-      kernels::pool(in(0), node.attrs.pool_kind, node.attrs.pool_kh, node.attrs.pool_kw,
+      kernels::pool(*in[0], node.attrs.pool_kind, node.attrs.pool_kh, node.attrs.pool_kw,
                     node.attrs.pool_sh, node.attrs.pool_sw, out);
       break;
     case OpKind::kGlobalAvgPool:
-      kernels::global_avg_pool(in(0), out);
+      kernels::global_avg_pool(*in[0], out);
       break;
     case OpKind::kUpsample:
-      kernels::upsample_nearest(in(0), node.attrs.upsample_factor, out);
+      kernels::upsample_nearest(*in[0], node.attrs.upsample_factor, out);
       break;
-    case OpKind::kAdd: {
-      std::vector<const Tensor*> xs;
-      xs.reserve(node.inputs.size());
-      for (std::size_t i = 0; i < node.inputs.size(); ++i) xs.push_back(&in(i));
-      kernels::add_n(xs, out);
+    case OpKind::kAdd:
+      kernels::add_n(in, out);
       break;
-    }
-    case OpKind::kConcat: {
-      std::vector<const Tensor*> xs;
-      xs.reserve(node.inputs.size());
-      for (std::size_t i = 0; i < node.inputs.size(); ++i) xs.push_back(&in(i));
-      kernels::concat_channels(xs, out);
+    case OpKind::kConcat:
+      kernels::concat_channels(in, out);
       break;
-    }
     case OpKind::kFlatten:
-      kernels::flatten(in(0), out);
+      kernels::flatten(*in[0], out);
       break;
     case OpKind::kLinear:
-      kernels::linear(in(0), node.weights[0], node.weights[1], out);
+      kernels::linear(*in[0], node.weights[0], node.weights[1], out);
       break;
     case OpKind::kSoftmax:
-      kernels::softmax(in(0), out);
+      kernels::softmax(*in[0], out);
       break;
     case OpKind::kFusedConvActConv:
-      kernels::fused_conv_act_conv(in(0), node.weights[0], node.weights[1], node.weights[2],
+      kernels::fused_conv_act_conv(*in[0], node.weights[0], node.weights[1], node.weights[2],
                                    node.weights[3], node.attrs.act, node.attrs.fused_has_pool,
                                    node.attrs.pool_kind, node.attrs.pool_kh, node.attrs.pool_sh,
-                                   out);
+                                   out, scratch.base, scratch.slot_floats, scratch.slots);
       break;
   }
-  (void)graph;
 }
 
 }  // namespace
 
-Executor::Executor(const ir::Graph& graph) : graph_(graph) {
+Executor::Executor(const ir::Graph& graph, ExecutorOptions options)
+    : graph_(graph), options_(options) {
   graph_.verify();
   liveness_ = compute_liveness(graph_);
   dying_ = values_dying_at(graph_, liveness_);
   for (const ir::Node& node : graph_.nodes()) {
     if (node.kind == ir::OpKind::kInput) input_ids_.push_back(node.id);
   }
+  if (options_.use_arena) bind_arena();
 }
 
-ExecutionResult Executor::run(const std::vector<Tensor>& inputs) const {
+void Executor::bind_arena() {
+  plan_ = plan_arena(graph_);
+  validate_arena_plan(graph_, plan_);
+
+  // One aligned slab for the life of the executor.  aligned_alloc requires a
+  // size that is a multiple of the alignment; arena_bytes already is.
+  float* raw = static_cast<float*>(
+      std::aligned_alloc(static_cast<std::size_t>(kTensorAlignment),
+                         static_cast<std::size_t>(plan_.arena_bytes)));
+  TEMCO_CHECK(raw != nullptr) << "arena allocation of " << plan_.arena_bytes << " bytes failed";
+  std::memset(raw, 0, static_cast<std::size_t>(plan_.arena_bytes));
+  slab_ = Buffer(raw, [](float* p) { std::free(p); });
+
+  // Bind every value to its slab offset once; run() never allocates tensors.
+  bound_.resize(graph_.size());
+  for (const ir::Node& node : graph_.nodes()) {
+    float* base = raw + plan_.block(node.id).offset / static_cast<std::int64_t>(sizeof(float));
+    // Aliasing shared_ptr: shares the slab's control block, owns nothing new.
+    bound_[static_cast<std::size_t>(node.id)] = Tensor(node.out_shape, Buffer(slab_, base));
+  }
+  args_.resize(graph_.size());
+  for (const ir::Node& node : graph_.nodes()) {
+    auto& list = args_[static_cast<std::size_t>(node.id)];
+    list.reserve(node.inputs.size());
+    for (const ir::ValueId in : node.inputs) {
+      list.push_back(&bound_[static_cast<std::size_t>(in)]);
+    }
+  }
+
+  // The arena never frees, so the Fig.-4 series cannot be measured here; it
+  // is taken from the analytic planner, which the reference executor matches
+  // step for step (asserted in tests).
+  const MemoryPlan plan = plan_memory(graph_);
+  planned_peak_ = plan.peak_internal_bytes;
+  planned_timeline_.reserve(plan.steps.size());
+  for (const PlanStep& step : plan.steps) {
+    planned_timeline_.push_back(StepTrace{step.id, step.live_after, step.step_peak});
+  }
+}
+
+void Executor::check_inputs(const std::vector<Tensor>& inputs) const {
   TEMCO_CHECK(inputs.size() == input_ids_.size())
       << "expected " << input_ids_.size() << " inputs, got " << inputs.size();
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    const ir::Node& node = graph_.node(input_ids_[i]);
+    TEMCO_CHECK(inputs[i].shape() == node.out_shape)
+        << node.name << ": input shape " << inputs[i].shape() << " != declared "
+        << node.out_shape;
+  }
+}
 
+ExecutionResult Executor::run(const std::vector<Tensor>& inputs) {
+  check_inputs(inputs);
+  return options_.use_arena ? run_arena(inputs) : run_reference(inputs);
+}
+
+ExecutionResult Executor::run_reference(const std::vector<Tensor>& inputs) {
   TrackingAllocator allocator;
   std::vector<Tensor> values(graph_.size());
+  std::vector<const Tensor*> args;
   ExecutionResult result;
   result.timeline.reserve(graph_.size());
   Timer timer;
@@ -109,16 +163,18 @@ ExecutionResult Executor::run(const std::vector<Tensor>& inputs) const {
       // internal tensor and occupies framework memory during inference.
       const std::size_t pos = static_cast<std::size_t>(
           std::find(input_ids_.begin(), input_ids_.end(), node.id) - input_ids_.begin());
-      const Tensor& provided = inputs[pos];
-      TEMCO_CHECK(provided.shape() == node.out_shape)
-          << node.name << ": input shape " << provided.shape() << " != declared "
-          << node.out_shape;
       Tensor tracked(node.out_shape, allocator.allocate(node.out_shape.numel()));
-      std::copy(provided.span().begin(), provided.span().end(), tracked.span().begin());
+      std::copy(inputs[pos].span().begin(), inputs[pos].span().end(), tracked.span().begin());
       values[slot] = std::move(tracked);
     } else {
+      args.clear();
+      for (std::size_t i = 0; i < node.inputs.size(); ++i) {
+        const Tensor& t = values[static_cast<std::size_t>(node.inputs[i])];
+        TEMCO_CHECK(t.defined()) << node.name << ": input " << i << " was freed too early";
+        args.push_back(&t);
+      }
       Tensor out(node.out_shape, allocator.allocate(node.out_shape.numel()));
-      run_node(graph_, node, values, out);
+      run_node(node, args, out, FusedScratch{});
       values[slot] = std::move(out);
     }
     const std::int64_t during = allocator.live_bytes();
@@ -127,13 +183,13 @@ ExecutionResult Executor::run(const std::vector<Tensor>& inputs) const {
     for (const ir::ValueId dead : dying_[slot]) {
       if (!graph_.is_output(dead)) values[static_cast<std::size_t>(dead)] = Tensor();
     }
-    result.timeline.push_back(
-        StepTrace{node.id, allocator.live_bytes(), during});
+    result.timeline.push_back(StepTrace{node.id, allocator.live_bytes(), during});
   }
 
   result.wall_seconds = timer.elapsed_seconds();
   result.peak_internal_bytes = allocator.peak_bytes();
   result.weight_bytes = graph_.total_weight_bytes();
+  result.heap_allocations = allocator.total_allocations();
   // Clone outputs into plain-heap storage: the tracked buffers' deleters
   // reference the stack-local allocator and must not outlive this frame.
   for (const ir::ValueId out : graph_.outputs()) {
@@ -142,8 +198,42 @@ ExecutionResult Executor::run(const std::vector<Tensor>& inputs) const {
   return result;
 }
 
-ExecutionResult execute(const ir::Graph& graph, const std::vector<Tensor>& inputs) {
-  return Executor(graph).run(inputs);
+ExecutionResult Executor::run_arena(const std::vector<Tensor>& inputs) {
+  const FusedScratch scratch{
+      slab_.get() + plan_.scratch_offset / static_cast<std::int64_t>(sizeof(float)),
+      plan_.scratch_slot_bytes / static_cast<std::int64_t>(sizeof(float)),
+      plan_.scratch_slots};
+  ExecutionResult result;
+  Timer timer;
+
+  for (const ir::Node& node : graph_.nodes()) {
+    const std::size_t slot = static_cast<std::size_t>(node.id);
+    if (node.kind == ir::OpKind::kInput) {
+      const std::size_t pos = static_cast<std::size_t>(
+          std::find(input_ids_.begin(), input_ids_.end(), node.id) - input_ids_.begin());
+      std::copy(inputs[pos].span().begin(), inputs[pos].span().end(),
+                bound_[slot].span().begin());
+    } else {
+      run_node(node, args_[slot], bound_[slot], scratch);
+    }
+  }
+
+  result.wall_seconds = timer.elapsed_seconds();
+  result.peak_internal_bytes = planned_peak_;
+  result.weight_bytes = graph_.total_weight_bytes();
+  result.arena_bytes = plan_.arena_bytes;
+  result.heap_allocations = 0;
+  result.timeline = planned_timeline_;
+  // Outputs are cloned out of the slab (it is overwritten by the next run).
+  for (const ir::ValueId out : graph_.outputs()) {
+    result.outputs.push_back(bound_[static_cast<std::size_t>(out)].clone());
+  }
+  return result;
+}
+
+ExecutionResult execute(const ir::Graph& graph, const std::vector<Tensor>& inputs,
+                        ExecutorOptions options) {
+  return Executor(graph, options).run(inputs);
 }
 
 }  // namespace temco::runtime

@@ -1,18 +1,25 @@
-// Graph executor with framework-style memory management.
+// Graph executor with two memory regimes.
 //
-// Mirrors how PyTorch/TensorFlow run an inference graph (§2.2): each node's
-// output is allocated when the node runs, and every tensor is dropped right
-// after its last use.  All internal-tensor storage comes from a
-// TrackingAllocator, so running a graph *measures* the peak the planner
-// predicts.  The executor also records a per-step live-byte timeline — the
-// data behind Figure 4.
+// Reference path (default): mirrors how PyTorch/TensorFlow run an inference
+// graph (§2.2) — each node's output is allocated when the node runs, and
+// every tensor is dropped right after its last use.  All internal-tensor
+// storage comes from a TrackingAllocator, so running a graph *measures* the
+// peak the planner predicts, and the per-step live-byte timeline behind
+// Figure 4 is recorded.
+//
+// Arena path (ExecutorOptions{.use_arena = true}): the production regime.  A
+// static arena plan (runtime/arena.hpp) assigns every internal tensor — and
+// the fused kernels' scratch — a byte offset in one slab that is allocated
+// once at construction; run() then executes the whole graph with zero
+// per-node heap allocations.  Outputs are bitwise-identical to the reference
+// path (asserted across the model zoo in tests/test_arena.cpp).
 #pragma once
 
-#include <unordered_map>
 #include <vector>
 
 #include "ir/graph.hpp"
 #include "runtime/allocator.hpp"
+#include "runtime/arena.hpp"
 #include "runtime/liveness.hpp"
 
 namespace temco::runtime {
@@ -24,29 +31,58 @@ struct StepTrace {
 };
 
 struct ExecutionResult {
-  std::vector<Tensor> outputs;               ///< one per graph output, in order
-  std::int64_t peak_internal_bytes = 0;      ///< measured by the tracking allocator
-  std::int64_t weight_bytes = 0;             ///< constant weights (loaded up-front)
-  std::vector<StepTrace> timeline;           ///< per-node live-byte series (Fig. 4)
+  std::vector<Tensor> outputs;           ///< one per graph output, in order
+  std::int64_t peak_internal_bytes = 0;  ///< measured (reference) / planned (arena)
+  std::int64_t weight_bytes = 0;         ///< constant weights (loaded up-front)
+  std::int64_t arena_bytes = 0;          ///< slab size; 0 on the reference path
+  std::int64_t heap_allocations = 0;     ///< per-node tensor allocations this run (arena: 0)
+  std::vector<StepTrace> timeline;       ///< per-node live-byte series (Fig. 4)
   double wall_seconds = 0.0;
+};
+
+struct ExecutorOptions {
+  /// Plan a static arena at construction and run every node out of one
+  /// preallocated slab — zero per-node heap allocations on the steady-state
+  /// path.  Outputs are still cloned to plain heap at the end of each run.
+  bool use_arena = false;
 };
 
 class Executor {
  public:
-  explicit Executor(const ir::Graph& graph);
+  explicit Executor(const ir::Graph& graph, ExecutorOptions options = {});
 
   /// Runs the graph on `inputs` (one tensor per kInput node, in definition
-  /// order).  Each call is independent; buffers never persist across runs.
-  ExecutionResult run(const std::vector<Tensor>& inputs) const;
+  /// order).  Reference mode keeps no state across runs.  Arena mode reuses
+  /// the slab between runs, so concurrent run() calls on one arena executor
+  /// are not allowed — build one executor per stream instead.
+  ExecutionResult run(const std::vector<Tensor>& inputs);
+
+  /// The adopted packing; nullptr unless use_arena.
+  const ArenaPlan* arena_plan() const { return options_.use_arena ? &plan_ : nullptr; }
 
  private:
+  void bind_arena();
+  void check_inputs(const std::vector<Tensor>& inputs) const;
+  ExecutionResult run_reference(const std::vector<Tensor>& inputs);
+  ExecutionResult run_arena(const std::vector<Tensor>& inputs);
+
   const ir::Graph& graph_;
+  ExecutorOptions options_;
   std::vector<LiveRange> liveness_;
   std::vector<std::vector<ir::ValueId>> dying_;
   std::vector<ir::ValueId> input_ids_;
+
+  // ---- arena state (populated only when options_.use_arena) ---------------
+  ArenaPlan plan_;
+  Buffer slab_;                                   ///< one aligned allocation, reused per run
+  std::vector<Tensor> bound_;                     ///< per-value views into the slab
+  std::vector<std::vector<const Tensor*>> args_;  ///< prebuilt kernel input lists
+  std::vector<StepTrace> planned_timeline_;       ///< analytic Fig.-4 series (no tracking)
+  std::int64_t planned_peak_ = 0;
 };
 
 /// Convenience wrapper: builds an Executor and runs once.
-ExecutionResult execute(const ir::Graph& graph, const std::vector<Tensor>& inputs);
+ExecutionResult execute(const ir::Graph& graph, const std::vector<Tensor>& inputs,
+                        ExecutorOptions options = {});
 
 }  // namespace temco::runtime

@@ -3,9 +3,19 @@
 #include <algorithm>
 
 #include "kernels/kernels.hpp"
+#include "runtime/arena.hpp"
 #include "runtime/liveness.hpp"
+#include "support/align.hpp"
 
 namespace temco::runtime {
+
+namespace {
+
+/// Bytes a value occupies in every accountant: its tensor rounded up to the
+/// shared 64-byte size class (see support/align.hpp).
+std::int64_t padded_bytes(const ir::Node& node) { return align_up(node.out_shape.bytes()); }
+
+}  // namespace
 
 MemoryPlan plan_memory(const ir::Graph& graph, PlannerOptions options) {
   const std::vector<LiveRange> liveness = compute_liveness(graph);
@@ -31,7 +41,7 @@ MemoryPlan plan_memory(const ir::Graph& graph, PlannerOptions options) {
 
     // Allocation happens before the node runs; inputs are still live, so the
     // step peak is live-so-far + the fresh output (Eq. 3/4's input+output).
-    if (!inplace) live += node.out_shape.bytes();
+    if (!inplace) live += padded_bytes(node);
     PlanStep step;
     step.id = node.id;
     step.step_peak = live;
@@ -46,7 +56,7 @@ MemoryPlan plan_memory(const ir::Graph& graph, PlannerOptions options) {
       if (graph.is_output(dead)) continue;
       // An aliasing activation keeps its input's storage alive as its own.
       if (aliased[static_cast<std::size_t>(node.id)] && dead == node.inputs[0]) continue;
-      live -= graph.node(dead).out_shape.bytes();
+      live -= padded_bytes(graph.node(dead));
     }
     step.live_after = live;
     plan.steps.push_back(step);
@@ -54,6 +64,9 @@ MemoryPlan plan_memory(const ir::Graph& graph, PlannerOptions options) {
     plan.peak_internal_bytes = std::max(plan.peak_internal_bytes, step.step_peak);
     plan.peak_with_scratch = std::max(plan.peak_with_scratch, step.step_peak + step.scratch);
   }
+  // The independently-computed arena packing for the same liveness table;
+  // reported side by side so packing overhead is always visible.
+  plan.arena_bytes = plan_arena(graph).arena_bytes;
   return plan;
 }
 

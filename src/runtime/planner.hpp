@@ -6,6 +6,10 @@
 // executor's tracking allocator must agree with this planner byte-for-byte
 // (asserted in tests); the planner is what benches use for large sweeps and
 // what the TeMCO passes use to evaluate candidate rewrites.
+//
+// All byte accounting rounds each tensor to kTensorAlignment (64 bytes) —
+// the same size classes the tracking allocator charges and the arena packs —
+// so planner == allocator == arena comparisons are like for like.
 #pragma once
 
 #include <cstdint>
@@ -27,6 +31,10 @@ struct MemoryPlan {
   std::int64_t peak_internal_bytes = 0;   ///< max over steps of step_peak
   std::int64_t peak_with_scratch = 0;     ///< max over steps of step_peak + scratch
   std::int64_t weight_bytes = 0;
+  /// Slab size of the static arena packing (src/runtime/arena.hpp) for the
+  /// same graph — always >= peak_with_scratch; the ratio of the two is the
+  /// packing overhead tracked by bench/arena_packing.
+  std::int64_t arena_bytes = 0;
 };
 
 struct PlannerOptions {

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "runtime/planner.hpp"
+#include "support/align.hpp"
 #include "support/log.hpp"
 
 namespace temco::runtime {
@@ -68,11 +69,11 @@ ScheduleResult schedule_for_memory(const ir::Graph& graph) {
     std::int64_t best_during = 0;
     for (std::size_t c = 0; c < ready.size(); ++c) {
       const Node& node = graph.node(ready[c]);
-      const std::int64_t during = live + node.out_shape.bytes();
+      const std::int64_t during = live + align_up(node.out_shape.bytes());
       std::int64_t after = during;
       for (const ValueId in : node.inputs) {
         if (uses[static_cast<std::size_t>(in)] == 1 && !graph.is_output(in)) {
-          after -= graph.node(in).out_shape.bytes();
+          after -= align_up(graph.node(in).out_shape.bytes());
         }
       }
       const bool better =

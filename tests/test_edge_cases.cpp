@@ -7,6 +7,7 @@
 #include "models/zoo.hpp"
 #include "runtime/executor.hpp"
 #include "runtime/planner.hpp"
+#include "support/align.hpp"
 #include "support/rng.hpp"
 #include "tensor/compare.hpp"
 
@@ -25,7 +26,9 @@ TEST(EdgeCaseTest, InputPassthroughGraph) {
   const Tensor input = Tensor::random_normal(Shape{1, 2, 3, 3}, rng);
   const auto result = runtime::execute(g, {input});
   EXPECT_EQ(max_abs_diff(result.outputs[0], input), 0.0f);
-  EXPECT_EQ(runtime::plan_memory(g).peak_internal_bytes, input.bytes());
+  // Accounting is in 64-byte size classes (support/align.hpp), so this
+  // 72-byte tensor is charged one rounded-up slot.
+  EXPECT_EQ(runtime::plan_memory(g).peak_internal_bytes, align_up(input.bytes()));
 }
 
 TEST(EdgeCaseTest, DecomposeTwiceIsIdempotent) {

@@ -85,6 +85,73 @@ INSTANTIATE_TEST_SUITE_P(
         FusedCase{1, 6, 12, 12, 24, 6, ir::ActKind::kSilu, true, ir::PoolKind::kMax, 2, 2},
         FusedCase{3, 2, 10, 14, 10, 4, ir::ActKind::kRelu, true, ir::PoolKind::kAvg, 2, 2}));
 
+INSTANTIATE_TEST_SUITE_P(
+    EdgeCases, FusedKernelTest,
+    ::testing::Values(
+        // Odd H/W not divisible by the pool tile: trailing rows/columns fall
+        // outside every window (floor semantics), matching the unfused pool.
+        FusedCase{2, 3, 9, 7, 12, 4, ir::ActKind::kRelu, true, ir::PoolKind::kMax, 2, 2},
+        FusedCase{1, 4, 11, 13, 16, 5, ir::ActKind::kSilu, true, ir::PoolKind::kAvg, 2, 2},
+        FusedCase{2, 2, 7, 5, 8, 3, ir::ActKind::kRelu, true, ir::PoolKind::kMax, 3, 2},
+        // Stride-2 pooling where stride < kernel (overlapping windows).
+        FusedCase{1, 3, 10, 10, 12, 4, ir::ActKind::kRelu, true, ir::PoolKind::kAvg, 3, 2},
+        // Single-row tiles: H == 1 without pooling, and H == pool_k so the
+        // whole map collapses to one pooled output row.
+        FusedCase{2, 3, 1, 7, 12, 4, ir::ActKind::kRelu, false, ir::PoolKind::kMax, 2, 2},
+        FusedCase{1, 4, 1, 16, 8, 2, ir::ActKind::kSilu, false, ir::PoolKind::kMax, 2, 2},
+        FusedCase{1, 3, 2, 8, 8, 3, ir::ActKind::kRelu, true, ir::PoolKind::kMax, 2, 2},
+        FusedCase{2, 2, 3, 9, 10, 4, ir::ActKind::kSilu, true, ir::PoolKind::kAvg, 3, 2},
+        // Single-column maps.
+        FusedCase{1, 2, 5, 1, 8, 3, ir::ActKind::kRelu, false, ir::PoolKind::kMax, 2, 2},
+        // Pool window larger than the input extent: the window is clipped to
+        // the valid area (one pooled row/column), never read out of bounds.
+        FusedCase{2, 3, 1, 5, 12, 4, ir::ActKind::kRelu, true, ir::PoolKind::kMax, 2, 2},
+        FusedCase{1, 2, 3, 1, 8, 3, ir::ActKind::kSilu, true, ir::PoolKind::kAvg, 2, 2},
+        FusedCase{2, 4, 1, 1, 16, 5, ir::ActKind::kRelu, true, ir::PoolKind::kAvg, 2, 2}));
+
+TEST(FusedScratchModeTest, ExternalScratchMatchesInternalBitwise) {
+  // The arena executor passes a preplanned scratch region instead of letting
+  // workers allocate row buffers.  Both modes must agree bit for bit, even
+  // when the external region starts filled with garbage.
+  const FusedCase p{3, 4, 9, 7, 16, 5, ir::ActKind::kSilu, true, ir::PoolKind::kMax, 2, 2};
+  Rng rng(77);
+  const Tensor x = Tensor::random_normal(Shape{p.n, p.c_reduced, p.h, p.w}, rng);
+  const Tensor w1 = Tensor::random_normal(Shape{p.c_restored, p.c_reduced, 1, 1}, rng, 0.4f);
+  const Tensor b1 = Tensor::random_uniform(Shape{p.c_restored}, rng, -0.3f, 0.3f);
+  const Tensor w2 = Tensor::random_normal(Shape{p.c_out, p.c_restored, 1, 1}, rng, 0.4f);
+  const Tensor b2 = Tensor::random_uniform(Shape{p.c_out}, rng, -0.3f, 0.3f);
+
+  const std::int64_t h_out = (p.h - p.pool_k) / p.pool_s + 1;
+  const std::int64_t w_out = (p.w - p.pool_k) / p.pool_s + 1;
+  Tensor internal = Tensor::zeros(Shape{p.n, p.c_out, h_out, w_out});
+  kernels::fused_conv_act_conv(x, w1, b1, w2, b2, p.act, p.has_pool, p.pool_kind, p.pool_k,
+                               p.pool_s, internal);
+
+  const std::int64_t slot_floats =
+      kernels::fused_scratch_bytes(p.c_restored, p.w, p.has_pool, w_out) /
+      static_cast<std::int64_t>(sizeof(float));
+  const std::size_t slots = 3;
+  std::vector<float> scratch(static_cast<std::size_t>(slot_floats) * slots, -123.5f);
+  Tensor external = Tensor::zeros(internal.shape());
+  kernels::fused_conv_act_conv(x, w1, b1, w2, b2, p.act, p.has_pool, p.pool_kind, p.pool_k,
+                               p.pool_s, external, scratch.data(), slot_floats, slots);
+  EXPECT_EQ(max_abs_diff(internal, external), 0.0f);
+}
+
+TEST(FusedScratchModeTest, RejectsUndersizedScratch) {
+  Rng rng(78);
+  const Tensor x = Tensor::random_normal(Shape{1, 2, 4, 4}, rng);
+  const Tensor w1 = Tensor::random_normal(Shape{8, 2, 1, 1}, rng, 0.4f);
+  const Tensor b1 = Tensor::zeros(Shape{8});
+  const Tensor w2 = Tensor::random_normal(Shape{3, 8, 1, 1}, rng, 0.4f);
+  const Tensor b2 = Tensor::zeros(Shape{3});
+  Tensor out = Tensor::zeros(Shape{1, 3, 4, 4});
+  std::vector<float> tiny(4);
+  EXPECT_THROW(kernels::fused_conv_act_conv(x, w1, b1, w2, b2, ir::ActKind::kRelu, false,
+                                            ir::PoolKind::kMax, 2, 2, out, tiny.data(), 4, 1),
+               Error);
+}
+
 TEST(FusedScratchTest, ScratchIsRowGranular) {
   // The fused kernel's scratch must scale with W (one restored row), not H·W
   // (the full restored map) — otherwise fusion would not save memory.

@@ -149,6 +149,29 @@ TEST(PoolTest, OverlappingWindows) {
   EXPECT_FLOAT_EQ(out.at(0, 0, 2, 2), 48.0f);   // bottom-right window
 }
 
+TEST(PoolTest, WindowLargerThanInputIsClipped) {
+  // A 2x2 window over a 1x1 map (DenseNet transition at small image sizes)
+  // must read only the single valid element — both kinds act as identity.
+  Tensor x = Tensor::from_values(Shape{2, 2, 1, 1}, {1.5f, -2.0f, 0.25f, 4.0f});
+  Tensor out_max = Tensor::zeros(x.shape());
+  kernels::pool(x, ir::PoolKind::kMax, 2, 2, 2, 2, out_max);
+  Tensor out_avg = Tensor::zeros(x.shape());
+  kernels::pool(x, ir::PoolKind::kAvg, 2, 2, 2, 2, out_avg);
+  for (std::int64_t i = 0; i < x.numel(); ++i) {
+    EXPECT_EQ(out_max[i], x[i]);
+    EXPECT_EQ(out_avg[i], x[i]);
+  }
+}
+
+TEST(PoolTest, RectangularClipAveragesValidAreaOnly) {
+  // 1x3 input with a 2x2 window: only the horizontal extent is full; the
+  // average divides by the 1x2 clipped area, not the nominal 2x2.
+  Tensor x = Tensor::from_values(Shape{1, 1, 1, 3}, {2.0f, 6.0f, 10.0f});
+  Tensor out = Tensor::zeros(Shape{1, 1, 1, 1});
+  kernels::pool(x, ir::PoolKind::kAvg, 2, 2, 2, 2, out);
+  EXPECT_FLOAT_EQ(out[0], 4.0f);  // (2 + 6) / 2, rows clipped to one
+}
+
 TEST(ActivationTest, ReluClampsNegatives) {
   Tensor x = Tensor::from_values(Shape{1, 4}, {-2.0f, -0.5f, 0.0f, 3.0f});
   Tensor out = Tensor::zeros(x.shape());
