@@ -1,4 +1,10 @@
 // TeMCO pipeline driver (Fig. 6).
+//
+// The four passes run under the PassManager's guardrails: structural verify +
+// shape re-check at every boundary (TemcoOptions::verify_passes, default on)
+// and an optional differential numeric oracle (TemcoOptions::numeric_oracle)
+// that proves each pass preserved the model's outputs on random inputs.
+#include "core/pass_manager.hpp"
 #include "core/temco.hpp"
 #include "support/log.hpp"
 
@@ -9,17 +15,31 @@ ir::Graph optimize(const ir::Graph& graph, const TemcoOptions& options, Optimize
   OptimizeStats local;
   OptimizeStats& st = stats != nullptr ? *stats : local;
 
-  ir::Graph current = graph;
+  PassManagerOptions pm_options;
+  pm_options.verify_passes = options.verify_passes;
+  pm_options.numeric_oracle = options.numeric_oracle;
+  pm_options.oracle_tolerance = options.oracle_tolerance;
+  pm_options.oracle_seed = options.oracle_seed;
+  PassManager manager(pm_options);
+
   if (options.enable_skip_opt) {
-    current = optimize_skip_connections(current, options, &st);
+    manager.add_pass("skip_opt", [&options, &st](const ir::Graph& g) {
+      return optimize_skip_connections(g, options, &st);
+    });
   }
   if (options.enable_transforms) {
-    current = transform_layers(current, options, &st);
+    manager.add_pass("transforms", [&options, &st](const ir::Graph& g) {
+      return transform_layers(g, options, &st);
+    });
   }
   if (options.enable_fusion) {
-    current = fuse_activations(current, options, &st);
+    manager.add_pass("fusion", [&options, &st](const ir::Graph& g) {
+      return fuse_activations(g, options, &st);
+    });
   }
-  current = eliminate_dead_code(current, &st);
+  manager.add_pass("dce", [&st](const ir::Graph& g) { return eliminate_dead_code(g, &st); });
+
+  ir::Graph current = manager.run(graph);
   TEMCO_INFO() << "temco: " << st.to_string();
   return current;
 }

@@ -43,6 +43,22 @@ struct TemcoOptions {
   /// Structural bound on restore-list length; deeper chains are rejected
   /// outright (they would be rejected by the compute check anyway).
   int max_restore_depth = 24;
+
+  // ---- semantics-preservation guardrails (core/pass_manager.hpp) ----------
+
+  /// Re-verify graph structure and re-check shape inference after every pass;
+  /// a broken rewrite raises a typed error naming the pass at its own
+  /// boundary.  Cheap (integer arithmetic only), so on by default.
+  bool verify_passes = true;
+
+  /// Differential numeric oracle: execute the graph before optimization and
+  /// after every pass on seeded random inputs, and require each pass's
+  /// outputs to stay within `oracle_tolerance` relative error of the
+  /// original.  Costs one reference execution per pass — for tests and
+  /// debugging, not the serving path.
+  bool numeric_oracle = false;
+  double oracle_tolerance = 1e-3;
+  std::uint64_t oracle_seed = 20240811;
 };
 
 struct OptimizeStats {

@@ -244,16 +244,36 @@ void Graph::infer_shapes() {
 }
 
 void Graph::verify() const {
-  TEMCO_CHECK(!outputs_.empty()) << "graph has no outputs";
+  TEMCO_CHECK_AS(!outputs_.empty(), InvalidGraphError) << "graph has no outputs";
   std::unordered_set<ValueId> seen;
   for (const Node& node : nodes_) {
-    TEMCO_CHECK(node.id == static_cast<ValueId>(seen.size())) << "node id out of order";
+    TEMCO_CHECK_AS(node.id == static_cast<ValueId>(seen.size()), InvalidGraphError)
+        << "node id out of order";
     for (const ValueId in : node.inputs) {
-      TEMCO_CHECK(seen.count(in) == 1) << node.name << " uses undefined value " << in;
+      // Catches dangling ids, forward references, and self-cycles alike: a
+      // valid SSA input must already have been defined.
+      TEMCO_CHECK_AS(seen.count(in) == 1, InvalidGraphError)
+          << node.name << " uses undefined value " << in;
     }
-    TEMCO_CHECK(node.out_shape.rank() > 0 || node.kind == OpKind::kInput)
+    TEMCO_CHECK_AS(node.out_shape.rank() > 0 || node.kind == OpKind::kInput, InvalidGraphError)
         << node.name << " has no inferred shape; call infer_shapes()";
     seen.insert(node.id);
+  }
+  std::unordered_set<ValueId> out_seen;
+  for (const ValueId id : outputs_) {
+    TEMCO_CHECK_AS(id >= 0 && id < static_cast<ValueId>(nodes_.size()), InvalidGraphError)
+        << "output " << id << " is not a graph value";
+    TEMCO_CHECK_AS(out_seen.insert(id).second, InvalidGraphError)
+        << "duplicate output " << node(id).name;
+  }
+  // Shape recheck: a pass that rewires edges but forgets to re-infer leaves a
+  // stale out_shape behind; downstream consumers (planner, arena, kernels)
+  // would size buffers from it and corrupt memory.  Re-deriving every shape
+  // is pure integer arithmetic, cheap enough to do on each verify.
+  for (const Node& node : nodes_) {
+    const Shape inferred = infer_node_shape(node);
+    TEMCO_CHECK_AS(node.out_shape == inferred, ShapeError)
+        << node.name << " has stale shape " << node.out_shape << "; inference says " << inferred;
   }
 }
 

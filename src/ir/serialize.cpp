@@ -11,6 +11,11 @@ namespace {
 constexpr char kMagic[4] = {'T', 'M', 'C', 'O'};
 constexpr std::uint32_t kVersion = 1;
 
+/// Hard ceiling on floats per deserialized tensor (1 GiB of float32).  A
+/// hostile header asking for more is rejected before any allocation happens,
+/// so corrupt files cannot drive the process into the OOM killer.
+constexpr std::int64_t kMaxTensorNumel = std::int64_t{1} << 28;
+
 // ---- primitive writers/readers (little-endian native assumed; the format
 // is for same-machine deploy artifacts, not cross-platform interchange) ----
 
@@ -24,7 +29,7 @@ template <typename T>
 T read_pod(std::istream& in) {
   T value{};
   in.read(reinterpret_cast<char*>(&value), sizeof(T));
-  TEMCO_CHECK(in.good()) << "truncated graph file";
+  TEMCO_CHECK_AS(in.good(), InvalidGraphError) << "truncated graph file";
   return value;
 }
 
@@ -37,11 +42,50 @@ void write_string(std::ostream& out, const std::string& s) {
 
 std::string read_string(std::istream& in) {
   const auto size = read_pod<std::uint32_t>(in);
-  TEMCO_CHECK(size <= (1u << 20)) << "implausible string length " << size;
+  TEMCO_CHECK_AS(size <= (1u << 20), InvalidGraphError) << "implausible string length " << size;
   std::string s(size, '\0');
   in.read(s.data(), size);
-  TEMCO_CHECK(in.good()) << "truncated graph file";
+  TEMCO_CHECK_AS(in.good(), InvalidGraphError) << "truncated graph file";
   return s;
+}
+
+/// Reads an enum stored as u8, rejecting bytes outside [0, max_value]; an
+/// out-of-range enum would otherwise flow into switches as a non-value.
+template <typename E>
+E read_enum(std::istream& in, E max_value) {
+  const auto raw = read_pod<std::uint8_t>(in);
+  TEMCO_CHECK_AS(raw <= static_cast<std::uint8_t>(max_value), InvalidGraphError)
+      << "enum byte " << static_cast<int>(raw) << " out of range";
+  return static_cast<E>(raw);
+}
+
+/// Element count of `dims` with overflow detection; throws on overflow.
+std::int64_t checked_numel(const std::vector<std::int64_t>& dims) {
+  std::int64_t numel = 1;
+  for (const std::int64_t d : dims) {
+    TEMCO_CHECK_AS(d >= 0, InvalidGraphError) << "negative dimension " << d;
+    if (d != 0 && numel > kMaxTensorNumel / d) {
+      TEMCO_CHECK_AS(false, InvalidGraphError)
+          << "tensor element count overflows the " << kMaxTensorNumel << " cap";
+    }
+    numel *= d;
+  }
+  return numel;
+}
+
+std::vector<std::int64_t> read_dims(std::istream& in) {
+  const auto rank = read_pod<std::uint32_t>(in);
+  TEMCO_CHECK_AS(rank <= 8, InvalidGraphError) << "implausible tensor rank " << rank;
+  std::vector<std::int64_t> dims;
+  dims.reserve(rank);
+  for (std::uint32_t i = 0; i < rank; ++i) {
+    const auto d = read_pod<std::int64_t>(in);
+    TEMCO_CHECK_AS(d >= 0 && d <= (std::int64_t{1} << 32), InvalidGraphError)
+        << "implausible dimension " << d;
+    dims.push_back(d);
+  }
+  checked_numel(dims);  // reject overflowing/oversized products up front
+  return dims;
 }
 
 void write_attrs(std::ostream& out, const OpAttrs& a) {
@@ -65,13 +109,13 @@ OpAttrs read_attrs(std::istream& in) {
   a.stride_w = read_pod<std::int64_t>(in);
   a.pad_h = read_pod<std::int64_t>(in);
   a.pad_w = read_pod<std::int64_t>(in);
-  a.pool_kind = static_cast<PoolKind>(read_pod<std::uint8_t>(in));
+  a.pool_kind = read_enum(in, PoolKind::kAvg);
   a.pool_kh = read_pod<std::int64_t>(in);
   a.pool_kw = read_pod<std::int64_t>(in);
   a.pool_sh = read_pod<std::int64_t>(in);
   a.pool_sw = read_pod<std::int64_t>(in);
   a.upsample_factor = read_pod<std::int64_t>(in);
-  a.act = static_cast<ActKind>(read_pod<std::uint8_t>(in));
+  a.act = read_enum(in, ActKind::kSilu);
   a.fused_has_pool = read_pod<std::uint8_t>(in) != 0;
   return a;
 }
@@ -85,19 +129,63 @@ void write_tensor(std::ostream& out, const Tensor& t) {
 }
 
 Tensor read_tensor(std::istream& in) {
-  const auto rank = read_pod<std::uint32_t>(in);
-  TEMCO_CHECK(rank <= 8) << "implausible tensor rank " << rank;
-  std::vector<std::int64_t> dims;
-  dims.reserve(rank);
-  for (std::uint32_t i = 0; i < rank; ++i) {
-    const auto d = read_pod<std::int64_t>(in);
-    TEMCO_CHECK(d >= 0 && d <= (std::int64_t{1} << 32)) << "implausible dimension " << d;
-    dims.push_back(d);
-  }
-  Tensor t = Tensor::zeros(Shape(std::move(dims)));
+  Tensor t = Tensor::zeros(Shape(read_dims(in)));
   in.read(reinterpret_cast<char*>(t.data()), static_cast<std::streamsize>(t.bytes()));
-  TEMCO_CHECK(in.good()) << "truncated graph file";
+  TEMCO_CHECK_AS(in.good(), InvalidGraphError) << "truncated graph file";
   return t;
+}
+
+Graph load_graph_impl(std::istream& in) {
+  char magic[4];
+  in.read(magic, sizeof(magic));
+  TEMCO_CHECK_AS(in.good() && std::memcmp(magic, kMagic, 4) == 0, InvalidGraphError)
+      << "not a TeMCO graph file";
+  const auto version = read_pod<std::uint32_t>(in);
+  TEMCO_CHECK_AS(version == kVersion, InvalidGraphError)
+      << "unsupported graph file version " << version;
+
+  Graph graph;
+  const auto node_count = read_pod<std::uint32_t>(in);
+  TEMCO_CHECK_AS(node_count <= (1u << 24), InvalidGraphError)
+      << "implausible node count " << node_count;
+  for (std::uint32_t i = 0; i < node_count; ++i) {
+    Node node;
+    node.kind = read_enum(in, OpKind::kFusedConvActConv);
+    node.provenance = read_enum(in, Provenance::kLconv);
+    node.original_flops = read_pod<std::int64_t>(in);
+    node.name = read_string(in);
+    const auto input_count = read_pod<std::uint32_t>(in);
+    TEMCO_CHECK_AS(input_count <= node_count, InvalidGraphError) << "implausible input count";
+    for (std::uint32_t j = 0; j < input_count; ++j) {
+      const auto id = read_pod<ValueId>(in);
+      TEMCO_CHECK_AS(id >= 0 && static_cast<std::uint32_t>(id) < i, InvalidGraphError)
+          << node.name << ": input id " << id << " violates SSA order";
+      node.inputs.push_back(id);
+    }
+    node.attrs = read_attrs(in);
+    if (node.kind == OpKind::kInput) {
+      node.out_shape = Shape(read_dims(in));
+    }
+    const auto weight_count = read_pod<std::uint32_t>(in);
+    TEMCO_CHECK_AS(weight_count <= 8, InvalidGraphError)
+        << "implausible weight count " << weight_count;
+    for (std::uint32_t j = 0; j < weight_count; ++j) node.weights.push_back(read_tensor(in));
+    graph.append(std::move(node));
+  }
+  const auto output_count = read_pod<std::uint32_t>(in);
+  TEMCO_CHECK_AS(output_count >= 1 && output_count <= node_count, InvalidGraphError)
+      << "implausible output count " << output_count;
+  std::vector<ValueId> outputs;
+  for (std::uint32_t i = 0; i < output_count; ++i) {
+    const auto id = read_pod<ValueId>(in);
+    TEMCO_CHECK_AS(id >= 0 && static_cast<std::uint32_t>(id) < node_count, InvalidGraphError)
+        << "output id " << id << " is not a graph value";
+    outputs.push_back(id);
+  }
+  graph.set_outputs(std::move(outputs));
+  graph.infer_shapes();
+  graph.verify();
+  return graph;
 }
 
 }  // namespace
@@ -130,45 +218,19 @@ void save_graph(const Graph& graph, std::ostream& out) {
 }
 
 Graph load_graph(std::istream& in) {
-  char magic[4];
-  in.read(magic, sizeof(magic));
-  TEMCO_CHECK(in.good() && std::memcmp(magic, kMagic, 4) == 0) << "not a TeMCO graph file";
-  const auto version = read_pod<std::uint32_t>(in);
-  TEMCO_CHECK(version == kVersion) << "unsupported graph file version " << version;
-
-  Graph graph;
-  const auto node_count = read_pod<std::uint32_t>(in);
-  TEMCO_CHECK(node_count <= (1u << 24)) << "implausible node count " << node_count;
-  for (std::uint32_t i = 0; i < node_count; ++i) {
-    Node node;
-    node.kind = static_cast<OpKind>(read_pod<std::uint8_t>(in));
-    node.provenance = static_cast<Provenance>(read_pod<std::uint8_t>(in));
-    node.original_flops = read_pod<std::int64_t>(in);
-    node.name = read_string(in);
-    const auto input_count = read_pod<std::uint32_t>(in);
-    TEMCO_CHECK(input_count <= node_count) << "implausible input count";
-    for (std::uint32_t j = 0; j < input_count; ++j) node.inputs.push_back(read_pod<ValueId>(in));
-    node.attrs = read_attrs(in);
-    if (node.kind == OpKind::kInput) {
-      const auto rank = read_pod<std::uint32_t>(in);
-      TEMCO_CHECK(rank <= 8) << "implausible input rank";
-      std::vector<std::int64_t> dims;
-      for (std::uint32_t j = 0; j < rank; ++j) dims.push_back(read_pod<std::int64_t>(in));
-      node.out_shape = Shape(std::move(dims));
-    }
-    const auto weight_count = read_pod<std::uint32_t>(in);
-    TEMCO_CHECK(weight_count <= 8) << "implausible weight count";
-    for (std::uint32_t j = 0; j < weight_count; ++j) node.weights.push_back(read_tensor(in));
-    graph.append(std::move(node));
+  // The temco::Error guarantee: malformed input must never surface foreign
+  // exception types.  Individual checks already throw typed errors; this
+  // wrapper converts the two escapes the standard library can still produce
+  // (allocation failure, stream-configured ios failures).
+  try {
+    return load_graph_impl(in);
+  } catch (const Error&) {
+    throw;
+  } catch (const std::bad_alloc&) {
+    throw ResourceExhaustedError("out of memory deserializing graph");
+  } catch (const std::exception& e) {
+    throw InvalidGraphError(std::string("malformed graph file: ") + e.what());
   }
-  const auto output_count = read_pod<std::uint32_t>(in);
-  TEMCO_CHECK(output_count >= 1 && output_count <= node_count) << "implausible output count";
-  std::vector<ValueId> outputs;
-  for (std::uint32_t i = 0; i < output_count; ++i) outputs.push_back(read_pod<ValueId>(in));
-  graph.set_outputs(std::move(outputs));
-  graph.infer_shapes();
-  graph.verify();
-  return graph;
 }
 
 void save_graph_file(const Graph& graph, const std::string& path) {

@@ -7,24 +7,35 @@
 // for its COMPUTE_THRESHOLD.
 #include "ir/graph.hpp"
 
+/// All shape-inference violations are ShapeError so callers can tell them
+/// apart from structural graph damage (InvalidGraphError).
+#define TEMCO_SHAPE_CHECK(expr) TEMCO_CHECK_AS(expr, ShapeError)
+
 namespace temco::ir {
 
 namespace {
 
 std::int64_t conv_out_extent(std::int64_t in, std::int64_t kernel, std::int64_t stride,
                              std::int64_t pad) {
+  // Attribute validation before the division: a stride of 0 (e.g. from a
+  // corrupted serialized graph) would otherwise be a SIGFPE, not an error.
+  TEMCO_SHAPE_CHECK(stride >= 1) << "conv stride must be >= 1, got " << stride;
+  TEMCO_SHAPE_CHECK(pad >= 0) << "conv padding must be >= 0, got " << pad;
+  TEMCO_SHAPE_CHECK(kernel >= 1) << "conv kernel must be >= 1, got " << kernel;
   const std::int64_t out = (in + 2 * pad - kernel) / stride + 1;
-  TEMCO_CHECK(out >= 1) << "degenerate conv output extent: in=" << in << " k=" << kernel
+  TEMCO_SHAPE_CHECK(out >= 1) << "degenerate conv output extent: in=" << in << " k=" << kernel
                         << " s=" << stride << " p=" << pad;
   return out;
 }
 
 std::int64_t pool_out_extent(std::int64_t in, std::int64_t kernel, std::int64_t stride) {
+  TEMCO_SHAPE_CHECK(stride >= 1) << "pool stride must be >= 1, got " << stride;
+  TEMCO_SHAPE_CHECK(kernel >= 1) << "pool kernel must be >= 1, got " << kernel;
   // An input smaller than the window yields one clipped window (the kernels
   // clip reads to the input extent), matching ceil-mode pooling frameworks.
   if (in < kernel) return 1;
   const std::int64_t out = (in - kernel) / stride + 1;
-  TEMCO_CHECK(out >= 1) << "degenerate pool output extent: in=" << in << " k=" << kernel
+  TEMCO_SHAPE_CHECK(out >= 1) << "degenerate pool output extent: in=" << in << " k=" << kernel
                         << " s=" << stride;
   return out;
 }
@@ -33,20 +44,26 @@ std::int64_t pool_out_extent(std::int64_t in, std::int64_t kernel, std::int64_t 
 
 Shape Graph::infer_node_shape(const Node& n) const {
   auto in_shape = [&](std::size_t i) -> const Shape& {
-    TEMCO_CHECK(i < n.inputs.size()) << n.name << " missing input " << i;
+    TEMCO_SHAPE_CHECK(i < n.inputs.size()) << n.name << " missing input " << i;
     return node(n.inputs[i]).out_shape;
+  };
+  auto weight_shape = [&](std::size_t i) -> const Shape& {
+    // A typed error, not vector::at's std::out_of_range: corrupt graphs can
+    // arrive with fewer weights than the op kind requires.
+    TEMCO_SHAPE_CHECK(i < n.weights.size()) << n.name << " missing weight " << i;
+    return n.weights[i].shape();
   };
 
   switch (n.kind) {
     case OpKind::kInput:
-      TEMCO_CHECK(n.out_shape.rank() > 0) << "input node without a shape";
+      TEMCO_SHAPE_CHECK(n.out_shape.rank() > 0) << "input node without a shape";
       return n.out_shape;
 
     case OpKind::kConv2d: {
       const Shape& x = in_shape(0);
-      const Shape& w = n.weights.at(0).shape();
-      TEMCO_CHECK(x.rank() == 4) << n.name << ": conv input must be NCHW, got " << x;
-      TEMCO_CHECK(x[1] == w[1]) << n.name << ": input channels " << x[1]
+      const Shape& w = weight_shape(0);
+      TEMCO_SHAPE_CHECK(x.rank() == 4) << n.name << ": conv input must be NCHW, got " << x;
+      TEMCO_SHAPE_CHECK(x[1] == w[1]) << n.name << ": input channels " << x[1]
                                 << " != weight in-channels " << w[1];
       return Shape{x[0], w[0], conv_out_extent(x[2], w[2], n.attrs.stride_h, n.attrs.pad_h),
                    conv_out_extent(x[3], w[3], n.attrs.stride_w, n.attrs.pad_w)};
@@ -54,8 +71,8 @@ Shape Graph::infer_node_shape(const Node& n) const {
 
     case OpKind::kDepthwiseConv2d: {
       const Shape& x = in_shape(0);
-      const Shape& w = n.weights.at(0).shape();
-      TEMCO_CHECK(x.rank() == 4 && x[1] == w[0])
+      const Shape& w = weight_shape(0);
+      TEMCO_SHAPE_CHECK(x.rank() == 4 && x[1] == w[0])
           << n.name << ": depthwise channels mismatch " << x << " vs " << w;
       return Shape{x[0], w[0], conv_out_extent(x[2], w[2], n.attrs.stride_h, n.attrs.pad_h),
                    conv_out_extent(x[3], w[3], n.attrs.stride_w, n.attrs.pad_w)};
@@ -68,28 +85,29 @@ Shape Graph::infer_node_shape(const Node& n) const {
 
     case OpKind::kPool: {
       const Shape& x = in_shape(0);
-      TEMCO_CHECK(x.rank() == 4) << n.name << ": pool input must be NCHW";
+      TEMCO_SHAPE_CHECK(x.rank() == 4) << n.name << ": pool input must be NCHW";
       return Shape{x[0], x[1], pool_out_extent(x[2], n.attrs.pool_kh, n.attrs.pool_sh),
                    pool_out_extent(x[3], n.attrs.pool_kw, n.attrs.pool_sw)};
     }
 
     case OpKind::kGlobalAvgPool: {
       const Shape& x = in_shape(0);
-      TEMCO_CHECK(x.rank() == 4);
+      TEMCO_SHAPE_CHECK(x.rank() == 4);
       return Shape{x[0], x[1], 1, 1};
     }
 
     case OpKind::kUpsample: {
       const Shape& x = in_shape(0);
-      TEMCO_CHECK(x.rank() == 4);
+      TEMCO_SHAPE_CHECK(x.rank() == 4);
       const std::int64_t f = n.attrs.upsample_factor;
+      TEMCO_SHAPE_CHECK(f >= 1) << n.name << ": upsample factor must be >= 1, got " << f;
       return Shape{x[0], x[1], x[2] * f, x[3] * f};
     }
 
     case OpKind::kAdd: {
       const Shape& first = in_shape(0);
       for (std::size_t i = 1; i < n.inputs.size(); ++i) {
-        TEMCO_CHECK(in_shape(i) == first)
+        TEMCO_SHAPE_CHECK(in_shape(i) == first)
             << n.name << ": add operand " << i << " shape " << in_shape(i) << " != " << first;
       }
       return first;
@@ -97,11 +115,11 @@ Shape Graph::infer_node_shape(const Node& n) const {
 
     case OpKind::kConcat: {
       const Shape& first = in_shape(0);
-      TEMCO_CHECK(first.rank() == 4) << n.name << ": concat expects NCHW operands";
+      TEMCO_SHAPE_CHECK(first.rank() == 4) << n.name << ": concat expects NCHW operands";
       std::int64_t channels = first[1];
       for (std::size_t i = 1; i < n.inputs.size(); ++i) {
         const Shape& s = in_shape(i);
-        TEMCO_CHECK(s.rank() == 4 && s[0] == first[0] && s[2] == first[2] && s[3] == first[3])
+        TEMCO_SHAPE_CHECK(s.rank() == 4 && s[0] == first[0] && s[2] == first[2] && s[3] == first[3])
             << n.name << ": concat operand " << i << " shape " << s
             << " incompatible with " << first;
         channels += s[1];
@@ -111,7 +129,7 @@ Shape Graph::infer_node_shape(const Node& n) const {
 
     case OpKind::kFlatten: {
       const Shape& x = in_shape(0);
-      TEMCO_CHECK(x.rank() >= 2);
+      TEMCO_SHAPE_CHECK(x.rank() >= 2);
       std::int64_t flat = 1;
       for (std::size_t i = 1; i < x.rank(); ++i) flat *= x[i];
       return Shape{x[0], flat};
@@ -119,17 +137,17 @@ Shape Graph::infer_node_shape(const Node& n) const {
 
     case OpKind::kLinear: {
       const Shape& x = in_shape(0);
-      const Shape& w = n.weights.at(0).shape();
-      TEMCO_CHECK(x.rank() == 2 && x[1] == w[1])
+      const Shape& w = weight_shape(0);
+      TEMCO_SHAPE_CHECK(x.rank() == 2 && x[1] == w[1])
           << n.name << ": linear input " << x << " vs weight " << w;
       return Shape{x[0], w[0]};
     }
 
     case OpKind::kFusedConvActConv: {
       const Shape& x = in_shape(0);
-      const Shape& w1 = n.weights.at(0).shape();
-      const Shape& w2 = n.weights.at(2).shape();
-      TEMCO_CHECK(x.rank() == 4 && x[1] == w1[1])
+      const Shape& w1 = weight_shape(0);
+      const Shape& w2 = weight_shape(2);
+      TEMCO_SHAPE_CHECK(x.rank() == 4 && x[1] == w1[1])
           << n.name << ": fused input channels " << x << " vs lconv weight " << w1;
       std::int64_t h = x[2];
       std::int64_t w = x[3];
@@ -140,7 +158,9 @@ Shape Graph::infer_node_shape(const Node& n) const {
       return Shape{x[0], w2[0], h, w};
     }
   }
-  TEMCO_FAIL() << "unhandled op kind";
+  // Reached only with an OpKind byte outside the enum (hostile/corrupt input).
+  TEMCO_CHECK_AS(false, InvalidGraphError)
+      << "invalid op kind " << static_cast<int>(n.kind) << " on node " << n.name;
 }
 
 std::int64_t Graph::node_flops(ValueId id) const {

@@ -30,6 +30,7 @@ void parallel_for_ranges(std::size_t count, const Body& body, ParallelOptions op
   ThreadPool& pool = options.pool != nullptr ? *options.pool : ThreadPool::global();
   const std::size_t grain = std::max<std::size_t>(1, options.grain);
   if (count <= grain || pool.concurrency() == 1) {
+    detail::maybe_inject_task_fault(0);
     body(std::size_t{0}, count);
     return;
   }

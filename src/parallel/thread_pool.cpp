@@ -4,7 +4,32 @@
 #include <cstdint>
 #include <exception>
 
+#include "support/failpoint.hpp"
+
 namespace temco {
+
+namespace {
+
+failpoints::Site fp_task_throw{"parallel.task_throw"};
+
+}  // namespace
+
+namespace detail {
+
+/// Models a kernel body faulting mid-parallel_for; the pool must surface
+/// exactly one structured error and stay reusable (tested in
+/// tests/test_failpoints.cpp).  Also called from parallel_for_ranges' serial
+/// fallback so injection covers ranges too small to fork.
+void maybe_inject_task_fault(std::size_t index) {
+  if (fp_task_throw.fire()) {
+    throw NumericError("parallel.task_throw failpoint: injected fault in task " +
+                       std::to_string(index));
+  }
+}
+
+}  // namespace detail
+
+using detail::maybe_inject_task_fault;
 
 // One fork-join episode.  Indices are claimed with a shared atomic cursor so
 // imbalanced tasks (e.g. convolution rows with different amounts of padding)
@@ -45,6 +70,7 @@ void ThreadPool::work_on(Batch& batch) {
     const std::size_t index = batch.next.fetch_add(1, std::memory_order_relaxed);
     if (index >= batch.num_tasks) break;
     try {
+      maybe_inject_task_fault(index);
       (*batch.task)(index);
     } catch (...) {
       std::lock_guard<std::mutex> lock(batch.error_mutex);
@@ -84,7 +110,10 @@ void ThreadPool::run(std::size_t num_tasks, const std::function<void(std::size_t
   if (num_tasks == 0) return;
   if (workers_.empty() || num_tasks == 1) {
     // Single-threaded fast path: no synchronization at all.
-    for (std::size_t i = 0; i < num_tasks; ++i) task(i);
+    for (std::size_t i = 0; i < num_tasks; ++i) {
+      maybe_inject_task_fault(i);
+      task(i);
+    }
     return;
   }
 

@@ -18,6 +18,14 @@
 
 namespace temco {
 
+namespace detail {
+/// parallel.task_throw failpoint hook (support/failpoint.hpp): throws
+/// NumericError when armed, otherwise a no-op.  ThreadPool::run calls it per
+/// task; parallel_for_ranges calls it on its serial fallback so fault
+/// injection reaches ranges too small to fork.
+void maybe_inject_task_fault(std::size_t index);
+}  // namespace detail
+
 class ThreadPool {
  public:
   /// Creates a pool with `num_threads` workers; 0 means hardware concurrency.

@@ -1,23 +1,38 @@
 #include "runtime/allocator.hpp"
 
 #include <algorithm>
+#include <new>
 
 #include "support/align.hpp"
+#include "support/failpoint.hpp"
 
 namespace temco::runtime {
+
+namespace {
+failpoints::Site fp_alloc_oom{"allocator.oom"};
+}  // namespace
 
 Buffer TrackingAllocator::allocate(std::int64_t numel) {
   TEMCO_CHECK(numel >= 0);
   // Charge the same 64-byte size class the analytic planner and the arena
   // packer count, so the three accountants can be compared with ==.
   const std::int64_t bytes = align_up(numel * static_cast<std::int64_t>(sizeof(float)));
+  TEMCO_CHECK_AS(!fp_alloc_oom.fire(), ResourceExhaustedError)
+      << "allocator.oom failpoint: simulated OOM allocating " << bytes << " bytes";
   {
     std::lock_guard<std::mutex> lock(mutex_);
     live_ += bytes;
     peak_ = std::max(peak_, live_);
     ++allocations_;
   }
-  float* raw = new float[static_cast<std::size_t>(numel)]();
+  float* raw;
+  try {
+    raw = new float[static_cast<std::size_t>(numel)]();
+  } catch (const std::bad_alloc&) {
+    on_free(bytes);  // roll back the accounting charged above
+    throw ResourceExhaustedError("tensor allocation of " + std::to_string(bytes) +
+                                 " bytes failed");
+  }
   // The deleter captures `this`; callers guarantee the allocator outlives
   // every buffer it produced (the executor owns both).
   return Buffer(raw, [this, bytes](float* p) {

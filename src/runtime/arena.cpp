@@ -7,10 +7,13 @@
 #include "kernels/kernels.hpp"
 #include "parallel/thread_pool.hpp"
 #include "support/align.hpp"
+#include "support/failpoint.hpp"
 
 namespace temco::runtime {
 
 namespace {
+
+failpoints::Site fp_packing_overflow{"arena.packing_overflow"};
 
 bool ranges_overlap(const LiveRange& a, const LiveRange& b) {
   return a.begin <= b.end && b.begin <= a.end;
@@ -31,11 +34,12 @@ ArenaPlan plan_arena(const ir::Graph& graph, ArenaOptions options) {
   const std::vector<LiveRange> liveness = compute_liveness(graph);
 
   ArenaPlan plan;
+  plan.canary_bytes = options.canary_bytes > 0 ? align_up(options.canary_bytes) : 0;
   plan.blocks.resize(graph.size());
   for (const ir::Node& node : graph.nodes()) {
     ArenaBlock& block = plan.blocks[static_cast<std::size_t>(node.id)];
     block.id = node.id;
-    block.bytes = align_up(node.out_shape.bytes());
+    block.bytes = align_up(node.out_shape.bytes()) + plan.canary_bytes;
     block.range = liveness[static_cast<std::size_t>(node.id)];
   }
 
@@ -98,6 +102,9 @@ ArenaPlan plan_arena(const ir::Graph& graph, ArenaOptions options) {
   plan.arena_bytes =
       plan.tensor_bytes +
       plan.scratch_slot_bytes * static_cast<std::int64_t>(plan.scratch_slots);
+  TEMCO_CHECK_AS(!fp_packing_overflow.fire(), ResourceExhaustedError)
+      << "arena.packing_overflow failpoint: simulated packing overflow at "
+      << plan.arena_bytes << " bytes";
   return plan;
 }
 
@@ -108,8 +115,8 @@ void validate_arena_plan(const ir::Graph& graph, const ArenaPlan& plan) {
     const ir::Node& node = graph.node(block.id);
     TEMCO_CHECK(block.offset % kTensorAlignment == 0)
         << node.name << ": misaligned offset " << block.offset;
-    TEMCO_CHECK(block.bytes >= node.out_shape.bytes())
-        << node.name << ": block smaller than the tensor";
+    TEMCO_CHECK(block.bytes - plan.canary_bytes >= node.out_shape.bytes())
+        << node.name << ": block payload smaller than the tensor";
     TEMCO_CHECK(block.offset >= 0 && block.offset + block.bytes <= plan.tensor_bytes)
         << node.name << ": block outside the tensor region";
   }

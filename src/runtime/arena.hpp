@@ -25,11 +25,13 @@
 namespace temco::runtime {
 
 /// One packed tensor: the half-open byte range [offset, offset + bytes) is
-/// reserved for value `id` during its live interval `range`.
+/// reserved for value `id` during its live interval `range`.  When the plan
+/// carries canaries, the last `plan.canary_bytes` of the block are a guard
+/// band the tensor payload never legally touches.
 struct ArenaBlock {
   ir::ValueId id = ir::kInvalidValue;
   std::int64_t offset = 0;  ///< slab offset, kTensorAlignment-aligned
-  std::int64_t bytes = 0;   ///< aligned footprint (>= the tensor's raw bytes)
+  std::int64_t bytes = 0;   ///< aligned footprint incl. canary band (>= raw bytes)
   LiveRange range;
 };
 
@@ -37,6 +39,13 @@ struct ArenaOptions {
   /// Parallel scratch slots reserved for fused kernels; 0 means "size for the
   /// process-global thread pool", which is what the executor needs.
   std::size_t scratch_slots = 0;
+
+  /// Guard-band bytes appended to every block (rounded up to
+  /// kTensorAlignment; 0 disables).  The executor fills the band with a
+  /// poison pattern when the value is defined and checks it when the value
+  /// dies, converting a kernel's out-of-slot write into a
+  /// MemoryCorruptionError instead of silent corruption of a neighbor.
+  std::int64_t canary_bytes = 0;
 };
 
 struct ArenaPlan {
@@ -46,9 +55,15 @@ struct ArenaPlan {
   std::int64_t scratch_offset = 0;      ///< start of the scratch region (== tensor_bytes)
   std::int64_t scratch_slot_bytes = 0;  ///< aligned per-slot scratch (0: no fused nodes)
   std::size_t scratch_slots = 0;
+  std::int64_t canary_bytes = 0;        ///< per-block guard band at the block tail
 
   const ArenaBlock& block(ir::ValueId id) const {
     return blocks[static_cast<std::size_t>(id)];
+  }
+
+  /// Bytes of `id`'s block the tensor payload may use (block minus band).
+  std::int64_t payload_bytes(ir::ValueId id) const {
+    return block(id).bytes - canary_bytes;
   }
 };
 

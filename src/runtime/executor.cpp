@@ -1,17 +1,29 @@
 #include "runtime/executor.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdlib>
 #include <cstring>
+#include <limits>
 
 #include "kernels/kernels.hpp"
 #include "runtime/planner.hpp"
 #include "support/align.hpp"
+#include "support/failpoint.hpp"
 #include "support/timer.hpp"
 
 namespace temco::runtime {
 
 namespace {
+
+failpoints::Site fp_poison_nan{"kernels.poison_nan"};
+failpoints::Site fp_slab_oom{"executor.slab_oom"};
+failpoints::Site fp_oob_write{"executor.oob_write"};
+
+/// Byte written into arena guard bands and poison fills.  Four of them form
+/// 0xFFFFFFFF, a quiet NaN, so a poisoned float read is detectable by
+/// check_numerics — and no finite kernel result ever matches the pattern.
+constexpr unsigned char kCanaryByte = 0xFF;
 
 /// Per-worker scratch handed to fused kernels; zeroed on the reference path
 /// (kernels then allocate their own row buffers, the measured §2.2 regime).
@@ -77,6 +89,11 @@ void run_node(const ir::Node& node, const std::vector<const Tensor*>& in, Tensor
                                    out, scratch.base, scratch.slot_floats, scratch.slots);
       break;
   }
+  // Fault injection: poison one output element the way a buggy kernel would,
+  // so tests can prove check_numerics pins the offending node.
+  if (fp_poison_nan.fire() && out.numel() > 0) {
+    out[0] = std::numeric_limits<float>::quiet_NaN();
+  }
 }
 
 }  // namespace
@@ -93,16 +110,27 @@ Executor::Executor(const ir::Graph& graph, ExecutorOptions options)
 }
 
 void Executor::bind_arena() {
-  plan_ = plan_arena(graph_);
+  ArenaOptions arena_options;
+  if (options_.arena_canaries) arena_options.canary_bytes = kTensorAlignment;
+  plan_ = plan_arena(graph_, arena_options);
   validate_arena_plan(graph_, plan_);
 
   // One aligned slab for the life of the executor.  aligned_alloc requires a
   // size that is a multiple of the alignment; arena_bytes already is.
-  float* raw = static_cast<float*>(
-      std::aligned_alloc(static_cast<std::size_t>(kTensorAlignment),
+  float* raw = fp_slab_oom.fire()
+                   ? nullptr
+                   : static_cast<float*>(std::aligned_alloc(
+                         static_cast<std::size_t>(kTensorAlignment),
                          static_cast<std::size_t>(plan_.arena_bytes)));
-  TEMCO_CHECK(raw != nullptr) << "arena allocation of " << plan_.arena_bytes << " bytes failed";
-  std::memset(raw, 0, static_cast<std::size_t>(plan_.arena_bytes));
+  TEMCO_CHECK_AS(raw != nullptr, ResourceExhaustedError)
+      << "arena allocation of " << plan_.arena_bytes << " bytes failed";
+  if (options_.arena_canaries) {
+    // Poison fill: a slot read before it was ever written yields NaNs that
+    // check_numerics can catch, and every guard band starts intact.
+    std::memset(raw, kCanaryByte, static_cast<std::size_t>(plan_.arena_bytes));
+  } else {
+    std::memset(raw, 0, static_cast<std::size_t>(plan_.arena_bytes));
+  }
   slab_ = Buffer(raw, [](float* p) { std::free(p); });
 
   // Bind every value to its slab offset once; run() never allocates tensors.
@@ -133,13 +161,49 @@ void Executor::bind_arena() {
 }
 
 void Executor::check_inputs(const std::vector<Tensor>& inputs) const {
-  TEMCO_CHECK(inputs.size() == input_ids_.size())
-      << "expected " << input_ids_.size() << " inputs, got " << inputs.size();
+  // Up-front validation with errors naming the input node; without it a
+  // mismatch would surface as an opaque TEMCO_CHECK deep inside some kernel.
+  TEMCO_CHECK_AS(inputs.size() == input_ids_.size(), InvalidGraphError)
+      << "expected " << input_ids_.size() << " input tensor(s) (one per kInput node), got "
+      << inputs.size();
   for (std::size_t i = 0; i < inputs.size(); ++i) {
     const ir::Node& node = graph_.node(input_ids_[i]);
-    TEMCO_CHECK(inputs[i].shape() == node.out_shape)
+    TEMCO_CHECK_AS(inputs[i].defined(), InvalidGraphError)
+        << node.name << ": input tensor " << i << " is undefined (no storage)";
+    TEMCO_CHECK_AS(inputs[i].shape() == node.out_shape, ShapeError)
         << node.name << ": input shape " << inputs[i].shape() << " != declared "
         << node.out_shape;
+  }
+}
+
+void Executor::check_node_output(const ir::Node& node, const Tensor& out) const {
+  if (!options_.check_numerics) return;
+  const float* data = out.data();
+  const std::int64_t n = out.numel();
+  for (std::int64_t i = 0; i < n; ++i) {
+    TEMCO_CHECK_AS(std::isfinite(data[i]), NumericError)
+        << node.name << " produced " << data[i] << " at element " << i << " of "
+        << out.shape();
+  }
+}
+
+void Executor::write_canary(ir::ValueId id) {
+  const ArenaBlock& block = plan_.block(id);
+  unsigned char* base = reinterpret_cast<unsigned char*>(slab_.get());
+  std::memset(base + block.offset + plan_.payload_bytes(id), kCanaryByte,
+              static_cast<std::size_t>(plan_.canary_bytes));
+}
+
+void Executor::check_canary(ir::ValueId id, const ir::Node& at) const {
+  const ArenaBlock& block = plan_.block(id);
+  const unsigned char* band =
+      reinterpret_cast<const unsigned char*>(slab_.get()) + block.offset +
+      plan_.payload_bytes(id);
+  for (std::int64_t i = 0; i < plan_.canary_bytes; ++i) {
+    TEMCO_CHECK_AS(band[i] == kCanaryByte, MemoryCorruptionError)
+        << "guard band of " << graph_.node(id).name << " corrupted (byte " << i
+        << "), detected freeing after node " << at.name
+        << " — some kernel wrote outside its arena slot";
   }
 }
 
@@ -175,6 +239,7 @@ ExecutionResult Executor::run_reference(const std::vector<Tensor>& inputs) {
       }
       Tensor out(node.out_shape, allocator.allocate(node.out_shape.numel()));
       run_node(node, args, out, FusedScratch{});
+      check_node_output(node, out);
       values[slot] = std::move(out);
     }
     const std::int64_t during = allocator.live_bytes();
@@ -206,8 +271,12 @@ ExecutionResult Executor::run_arena(const std::vector<Tensor>& inputs) {
   ExecutionResult result;
   Timer timer;
 
+  const bool canaries = options_.arena_canaries && plan_.canary_bytes > 0;
   for (const ir::Node& node : graph_.nodes()) {
     const std::size_t slot = static_cast<std::size_t>(node.id);
+    // The band must be (re)written when the value comes alive: its bytes may
+    // have served as another value's payload earlier in this run.
+    if (canaries) write_canary(node.id);
     if (node.kind == ir::OpKind::kInput) {
       const std::size_t pos = static_cast<std::size_t>(
           std::find(input_ids_.begin(), input_ids_.end(), node.id) - input_ids_.begin());
@@ -215,6 +284,17 @@ ExecutionResult Executor::run_arena(const std::vector<Tensor>& inputs) {
                 bound_[slot].span().begin());
     } else {
       run_node(node, args_[slot], bound_[slot], scratch);
+      check_node_output(node, bound_[slot]);
+    }
+    if (canaries && fp_oob_write.fire()) {
+      // Simulated kernel bug: stomp the first canary byte of this node's slot.
+      reinterpret_cast<unsigned char*>(slab_.get())[plan_.block(node.id).offset +
+                                                    plan_.payload_bytes(node.id)] = 0;
+    }
+    // Free time: verify the guard band of every value that dies here (graph
+    // outputs die at the last step, so they are covered too).
+    if (canaries) {
+      for (const ir::ValueId dead : dying_[slot]) check_canary(dead, node);
     }
   }
 

@@ -45,6 +45,20 @@ struct ExecutorOptions {
   /// preallocated slab — zero per-node heap allocations on the steady-state
   /// path.  Outputs are still cloned to plain heap at the end of each run.
   bool use_arena = false;
+
+  /// Scan every node's output for NaN/Inf right after the node runs and
+  /// throw NumericError naming the offending node.  Catches kernel bugs (and
+  /// injected kernels.poison_nan faults) at the step that produced them
+  /// instead of in downstream garbage.
+  bool check_numerics = false;
+
+  /// Arena mode only: append a poison-filled guard band to every arena slot
+  /// and verify it when the value dies.  An out-of-slot write by a (fused)
+  /// kernel then surfaces as MemoryCorruptionError at free time, naming the
+  /// corrupted value, instead of silently clobbering a neighboring tensor.
+  /// The slab is also poison-filled at construction so reads of
+  /// never-written slots produce NaNs that check_numerics can catch.
+  bool arena_canaries = false;
 };
 
 class Executor {
@@ -63,6 +77,9 @@ class Executor {
  private:
   void bind_arena();
   void check_inputs(const std::vector<Tensor>& inputs) const;
+  void check_node_output(const ir::Node& node, const Tensor& out) const;
+  void write_canary(ir::ValueId id);
+  void check_canary(ir::ValueId id, const ir::Node& at) const;
   ExecutionResult run_reference(const std::vector<Tensor>& inputs);
   ExecutionResult run_arena(const std::vector<Tensor>& inputs);
 

@@ -2,23 +2,17 @@
 //
 // TeMCO is a compiler: nearly every invariant violation is a programming error
 // in a pass or a malformed graph handed in by the user, so we fail fast with a
-// rich message rather than limping along with corrupted state.
+// rich message rather than limping along with corrupted state.  Checks throw
+// temco::Error by default; TEMCO_CHECK_AS selects a subtype from the taxonomy
+// in support/error.hpp so callers can catch what they can handle.
 #pragma once
 
 #include <sstream>
-#include <stdexcept>
 #include <string>
 
-namespace temco {
+#include "support/error.hpp"
 
-/// Error thrown on violated preconditions and invariants.
-///
-/// Carries the failing expression and the source location so pass authors can
-/// find the offending rewrite quickly.
-class Error : public std::runtime_error {
- public:
-  explicit Error(std::string message) : std::runtime_error(std::move(message)) {}
-};
+namespace temco {
 
 namespace detail {
 
@@ -39,26 +33,34 @@ class CheckMessageBuilder {
     return *this;
   }
 
-  [[noreturn]] void raise() const { throw Error(stream_.str()); }
+  std::string str() const { return stream_.str(); }
 
  private:
   std::ostringstream stream_;
   bool has_detail_;
 };
 
-// Consumes a builder and throws; keeps the macro expression-shaped.
+// Consumes a builder and throws the requested error subtype; keeps the macro
+// expression-shaped.
+template <typename E>
 struct CheckRaiser {
-  [[noreturn]] void operator&(const CheckMessageBuilder& builder) const { builder.raise(); }
+  [[noreturn]] void operator&(const CheckMessageBuilder& builder) const {
+    throw E(builder.str());
+  }
 };
 
 }  // namespace detail
 }  // namespace temco
 
 /// Always-on check. Usage: TEMCO_CHECK(cond) << "detail " << value;
-#define TEMCO_CHECK(expr)                                                 \
+#define TEMCO_CHECK(expr) TEMCO_CHECK_AS(expr, ::temco::Error)
+
+/// Check that throws a specific temco::Error subtype on failure.
+/// Usage: TEMCO_CHECK_AS(cond, ShapeError) << "detail";
+#define TEMCO_CHECK_AS(expr, ErrorType)                                   \
   if (expr) {                                                             \
   } else                                                                  \
-    ::temco::detail::CheckRaiser{} &                                      \
+    ::temco::detail::CheckRaiser<ErrorType>{} &                           \
         ::temco::detail::CheckMessageBuilder(#expr, __FILE__, __LINE__)
 
 /// Unconditional failure, for unreachable branches.

@@ -1,0 +1,57 @@
+// Structured error taxonomy.
+//
+// Every failure the library can surface — malformed graphs, shape mismatches,
+// exhausted memory, numeric corruption — is a subtype of temco::Error, so
+// callers can catch precisely what they can handle and tests can prove that
+// injected faults (support/failpoint.hpp) never escape as undefined behavior,
+// aborts, or foreign exception types.  The subtype is the contract; the
+// message carries the offending node/pass/value name.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace temco {
+
+/// Base of all library errors (thrown by TEMCO_CHECK and friends).
+class Error : public std::runtime_error {
+ public:
+  explicit Error(std::string message) : std::runtime_error(std::move(message)) {}
+};
+
+/// The graph violates a structural invariant: dangling or forward edges,
+/// out-of-order ids, duplicate or missing outputs, lost nodes.
+class InvalidGraphError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// Shapes are inconsistent: operands disagree, attributes are degenerate
+/// (stride 0, negative padding), or a node's recorded shape is stale.
+class ShapeError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// An allocation (heap tensor, arena slab) or packing could not be satisfied.
+class ResourceExhaustedError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// A kernel produced NaN/Inf, or a differential oracle found the outputs of a
+/// rewritten graph diverging from its input graph.
+class NumericError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// Arena canary bytes were overwritten: some kernel wrote outside its
+/// assigned slot.  Distinct from NumericError because the *storage* is
+/// corrupt, not the arithmetic.
+class MemoryCorruptionError : public Error {
+ public:
+  using Error::Error;
+};
+
+}  // namespace temco

@@ -1,0 +1,174 @@
+// Fault-injection failpoints.
+//
+// A failpoint is a named site in library code where a test (or an operator,
+// via the TEMCO_FAILPOINTS environment variable) can inject a fault:
+// simulated allocator OOM, arena packing overflow, kernel NaN poisoning, a
+// scheduler dropping a node.  Sites are disarmed no-ops by default — one
+// relaxed atomic load — so they can live on production paths.  The registry
+// lets tests enumerate every site that exists and prove each one surfaces as
+// a structured temco::Error subtype (support/error.hpp) instead of UB.
+//
+// Defining a site (at namespace scope, so it registers before main):
+//   namespace { temco::failpoints::Site fp_oom{"allocator.oom"}; }
+//   ...
+//   if (fp_oom.fire()) throw ResourceExhaustedError("simulated OOM");
+//
+// Arming:
+//   temco::failpoints::arm("allocator.oom");        // every hit fires
+//   temco::failpoints::arm("allocator.oom", 2);     // next two hits fire
+//   TEMCO_FAILPOINTS="allocator.oom,kernels.poison_nan=1" ./app
+//   { temco::failpoints::ScopedArm g("allocator.oom"); ... }  // RAII
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "support/check.hpp"
+
+namespace temco::failpoints {
+
+namespace detail {
+
+/// remaining == 0: disarmed; < 0: fires on every hit; > 0: fires that many
+/// more hits, then disarms itself.
+struct State {
+  std::atomic<std::int64_t> remaining{0};
+};
+
+class Registry {
+ public:
+  static Registry& instance() {
+    static Registry registry;
+    return registry;
+  }
+
+  /// Returns the state for `name`, creating it on first reference (this is
+  /// how both Site construction and arm() register names).  States are never
+  /// destroyed, so the returned reference stays valid for the process.
+  State& state(const std::string& name) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto& slot = states_[name];
+    if (slot == nullptr) slot = std::make_unique<State>();
+    return *slot;
+  }
+
+  std::vector<std::string> names() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<std::string> result;
+    result.reserve(states_.size());
+    for (const auto& [name, state] : states_) result.push_back(name);
+    return result;
+  }
+
+  void disarm_all() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (auto& [name, state] : states_) state->remaining.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  Registry() { parse_env(); }
+
+  /// TEMCO_FAILPOINTS="name[,name=count]...": arms each listed failpoint;
+  /// a missing or unparsable count means "always".
+  void parse_env() {
+    const char* env = std::getenv("TEMCO_FAILPOINTS");
+    if (env == nullptr) return;
+    std::string spec(env);
+    std::size_t begin = 0;
+    while (begin <= spec.size()) {
+      std::size_t end = spec.find(',', begin);
+      if (end == std::string::npos) end = spec.size();
+      std::string entry = spec.substr(begin, end - begin);
+      begin = end + 1;
+      if (entry.empty()) continue;
+      std::int64_t count = -1;
+      const std::size_t eq = entry.find('=');
+      if (eq != std::string::npos) {
+        const std::string value = entry.substr(eq + 1);
+        entry.resize(eq);
+        count = std::strtoll(value.c_str(), nullptr, 10);
+        if (count <= 0) count = -1;
+      }
+      // Cannot call state() here: the registry mutex is not yet needed (we
+      // are inside the constructor, single-threaded), but states_ access is
+      // uniform either way.
+      auto& slot = states_[entry];
+      if (slot == nullptr) slot = std::make_unique<State>();
+      slot->remaining.store(count, std::memory_order_relaxed);
+    }
+  }
+
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<State>> states_;
+};
+
+}  // namespace detail
+
+/// One injection site.  Construct at namespace scope in the .cpp that hosts
+/// the site so the name is registered during static initialization and tests
+/// can enumerate it without having executed the site first.
+class Site {
+ public:
+  explicit Site(std::string name)
+      : name_(std::move(name)), state_(detail::Registry::instance().state(name_)) {}
+
+  /// True when the site is armed (and consumes one count if counted).
+  /// Disarmed cost: one relaxed load.
+  bool fire() {
+    if (state_.remaining.load(std::memory_order_relaxed) == 0) return false;
+    for (;;) {
+      std::int64_t current = state_.remaining.load(std::memory_order_relaxed);
+      if (current == 0) return false;
+      if (current < 0) return true;
+      if (state_.remaining.compare_exchange_weak(current, current - 1,
+                                                 std::memory_order_relaxed)) {
+        return true;
+      }
+    }
+  }
+
+  const std::string& name() const { return name_; }
+
+ private:
+  std::string name_;
+  detail::State& state_;
+};
+
+/// Arms `name`: count < 0 fires on every hit, count > 0 fires on the next
+/// `count` hits.  Creates (registers) the name if no site declared it yet.
+inline void arm(const std::string& name, std::int64_t count = -1) {
+  TEMCO_CHECK(count != 0) << "arm with count 0 is a no-op; use disarm";
+  detail::Registry::instance().state(name).remaining.store(count, std::memory_order_relaxed);
+}
+
+inline void disarm(const std::string& name) {
+  detail::Registry::instance().state(name).remaining.store(0, std::memory_order_relaxed);
+}
+
+inline void disarm_all() { detail::Registry::instance().disarm_all(); }
+
+/// Every failpoint name known to the process: all Sites whose translation
+/// units are linked in, plus anything armed by env/API.
+inline std::vector<std::string> registered() { return detail::Registry::instance().names(); }
+
+/// RAII arm/disarm for tests.
+class ScopedArm {
+ public:
+  explicit ScopedArm(std::string name, std::int64_t count = -1) : name_(std::move(name)) {
+    arm(name_, count);
+  }
+  ~ScopedArm() { disarm(name_); }
+  ScopedArm(const ScopedArm&) = delete;
+  ScopedArm& operator=(const ScopedArm&) = delete;
+
+ private:
+  std::string name_;
+};
+
+}  // namespace temco::failpoints
