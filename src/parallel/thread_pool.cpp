@@ -12,6 +12,19 @@ namespace {
 
 failpoints::Site fp_task_throw{"parallel.task_throw"};
 
+// Task-context markers.  `tl_task_depth` is nonzero while the thread is
+// executing a pool task, so a nested `run` can detect it must not fork (the
+// fork-join machinery handles one batch per pool at a time, and the outer
+// batch already owns the workers).  `tl_worker_slot` is assigned once per
+// worker thread and never changes; the owner/caller lane is always 0.
+thread_local int tl_task_depth = 0;
+thread_local std::size_t tl_worker_slot = 0;
+
+struct TaskScope {
+  TaskScope() { ++tl_task_depth; }
+  ~TaskScope() { --tl_task_depth; }
+};
+
 }  // namespace
 
 namespace detail {
@@ -50,9 +63,10 @@ ThreadPool::ThreadPool(std::size_t num_threads) {
     const unsigned hw = std::thread::hardware_concurrency();
     n = hw > 0 ? hw : 1;
   }
-  // The calling thread is a participant, so spawn one fewer worker.
+  // The calling thread is a participant, so spawn one fewer worker.  Worker
+  // i takes lane id i (1-based); lane 0 belongs to the caller.
   for (std::size_t i = 1; i < n; ++i) {
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back([this, i] { worker_loop(i); });
   }
 }
 
@@ -70,6 +84,7 @@ void ThreadPool::work_on(Batch& batch) {
     const std::size_t index = batch.next.fetch_add(1, std::memory_order_relaxed);
     if (index >= batch.num_tasks) break;
     try {
+      TaskScope scope;
       maybe_inject_task_fault(index);
       (*batch.task)(index);
     } catch (...) {
@@ -80,7 +95,8 @@ void ThreadPool::work_on(Batch& batch) {
   }
 }
 
-void ThreadPool::worker_loop() {
+void ThreadPool::worker_loop(std::size_t slot) {
+  tl_worker_slot = slot;
   // Each `run` bumps `epoch_`; a worker only considers a batch it has not
   // seen, which makes stack-address reuse across runs harmless.
   std::uint64_t seen = 0;
@@ -92,12 +108,22 @@ void ThreadPool::worker_loop() {
       if (shutdown_) return;
       seen = epoch_;
       batch = current_;  // may already be null if the batch drained quickly
+      // Registering under the same lock as the `current_` read means the
+      // owner cannot retire the batch — and pop its stack frame — while we
+      // hold a pointer into it: `run` waits for active_workers_ to drain, not
+      // just for the finished count.  (The finished count alone is not
+      // enough: a worker that loses the race for the last index still reads
+      // batch.next/num_tasks after the last task completes.)
+      if (batch != nullptr) ++active_workers_;
     }
     if (batch == nullptr) continue;
     work_on(*batch);
-    // Acquire/release the mutex before notifying so a completion that races
-    // with the owner's predicate check cannot become a lost wakeup.
-    { std::lock_guard<std::mutex> lock(mutex_); }
+    // Deregister before notifying so a completion that races with the
+    // owner's predicate check cannot become a lost wakeup.
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      --active_workers_;
+    }
     done_.notify_all();
     // Park until the owner retires the batch; `epoch_retired_ >= seen` means
     // the batch we worked on is gone and `current_` no longer points at it.
@@ -108,8 +134,11 @@ void ThreadPool::worker_loop() {
 
 void ThreadPool::run(std::size_t num_tasks, const std::function<void(std::size_t)>& task) {
   if (num_tasks == 0) return;
-  if (workers_.empty() || num_tasks == 1) {
-    // Single-threaded fast path: no synchronization at all.
+  if (workers_.empty() || num_tasks == 1 || in_task()) {
+    // Single-threaded fast path: no synchronization at all.  Nested calls
+    // (a parallel_for inside a task of an outer batch) take this path too —
+    // the outer batch owns the workers, so the nested batch runs inline on
+    // the current thread, with identical results.
     for (std::size_t i = 0; i < num_tasks; ++i) {
       maybe_inject_task_fault(i);
       task(i);
@@ -129,8 +158,11 @@ void ThreadPool::run(std::size_t num_tasks, const std::function<void(std::size_t
   work_on(batch);
   {
     std::unique_lock<std::mutex> lock(mutex_);
-    done_.wait(lock, [&batch] {
-      return batch.finished.load(std::memory_order_acquire) == batch.num_tasks;
+    // Both conditions matter: every index ran to completion, and no worker
+    // still holds a pointer into the (stack-allocated) batch.
+    done_.wait(lock, [this, &batch] {
+      return batch.finished.load(std::memory_order_acquire) == batch.num_tasks &&
+             active_workers_ == 0;
     });
     current_ = nullptr;
     epoch_retired_ = epoch_;
@@ -138,6 +170,10 @@ void ThreadPool::run(std::size_t num_tasks, const std::function<void(std::size_t
   done_.notify_all();
   if (batch.error) std::rethrow_exception(batch.error);
 }
+
+bool ThreadPool::in_task() { return tl_task_depth > 0; }
+
+std::size_t ThreadPool::worker_slot() { return tl_worker_slot; }
 
 ThreadPool& ThreadPool::global() {
   static ThreadPool pool;

@@ -6,6 +6,14 @@
 // fork-join `run` primitive: the caller's thread participates in the work,
 // and `run` returns only when every task has finished — kernels therefore
 // never observe concurrent invocations of themselves.
+//
+// Nesting: a task may itself call `run` (on this or any other pool) — e.g. a
+// kernel's parallel_for inside an inter-op node task of the wavefront
+// executor.  The nested call detects it is running on a pool thread
+// (`in_task`) and executes its tasks inline, serially, on that thread: the
+// fork-join machinery supports one batch at a time per pool, and the outer
+// batch already owns the workers.  Results are identical either way — work
+// decomposition never changes accumulation order.
 #pragma once
 
 #include <condition_variable>
@@ -47,10 +55,20 @@ class ThreadPool {
   /// Process-wide shared pool, sized to the hardware.
   static ThreadPool& global();
 
+  /// True on a thread that is currently inside a pool task (of any pool).
+  /// `run` checks this to execute nested batches inline.
+  static bool in_task();
+
+  /// Lane id of the calling thread: 0 for a pool owner or any non-pool
+  /// thread, i for a pool's i-th worker (1-based).  Unique among the
+  /// participants of one `run` — caller plus that pool's workers — which
+  /// makes it a valid index into `concurrency()`-sized per-lane scratch.
+  static std::size_t worker_slot();
+
  private:
   struct Batch;
 
-  void worker_loop();
+  void worker_loop(std::size_t slot);
   void work_on(Batch& batch);
 
   std::vector<std::thread> workers_;
@@ -60,6 +78,7 @@ class ThreadPool {
   Batch* current_ = nullptr;          // guarded by mutex_
   std::uint64_t epoch_ = 0;           // guarded by mutex_; bumped per run
   std::uint64_t epoch_retired_ = 0;   // guarded by mutex_; last finished run
+  std::size_t active_workers_ = 0;    // guarded by mutex_; workers inside work_on
   bool shutdown_ = false;             // guarded by mutex_
 };
 

@@ -40,7 +40,11 @@ ArenaPlan plan_arena(const ir::Graph& graph, ArenaOptions options) {
     ArenaBlock& block = plan.blocks[static_cast<std::size_t>(node.id)];
     block.id = node.id;
     block.bytes = align_up(node.out_shape.bytes()) + plan.canary_bytes;
-    block.range = liveness[static_cast<std::size_t>(node.id)];
+    // Concurrency-aware mode widens every interval to wavefront boundaries:
+    // a mid-wave free is impossible when the wave runs concurrently, so slot
+    // sharing is legal only across disjoint wavefront spans.
+    const LiveRange& range = liveness[static_cast<std::size_t>(node.id)];
+    block.range = options.wavefronts != nullptr ? options.wavefronts->widened(range) : range;
   }
 
   // Greedy best-fit: place tensors largest-first (ties by id for

@@ -21,6 +21,7 @@
 
 #include "ir/graph.hpp"
 #include "runtime/liveness.hpp"
+#include "runtime/wavefront.hpp"
 
 namespace temco::runtime {
 
@@ -46,6 +47,18 @@ struct ArenaOptions {
   /// dies, converting a kernel's out-of-slot write into a
   /// MemoryCorruptionError instead of silent corruption of a neighbor.
   std::int64_t canary_bytes = 0;
+
+  /// Concurrency-aware packing mode.  When set, every value's live interval
+  /// is widened to the wavefront boundaries of this partition before packing
+  /// (runtime/wavefront.hpp): two values may share a slot only if their
+  /// defining/consuming wavefronts never overlap, which makes slot reuse
+  /// safe under any interleaving of nodes *within* a wave.  The emitted
+  /// blocks carry the widened ranges, so validate_arena_plan checks the
+  /// concurrent invariant, not the sequential one.  The partition must
+  /// outlive this call but is not retained by the plan.  nullptr keeps the
+  /// sequential §2.2 liveness (a width-1 partition produces a bit-identical
+  /// plan to nullptr).
+  const WavefrontPartition* wavefronts = nullptr;
 };
 
 struct ArenaPlan {

@@ -13,14 +13,32 @@
 // once at construction; run() then executes the whole graph with zero
 // per-node heap allocations.  Outputs are bitwise-identical to the reference
 // path (asserted across the model zoo in tests/test_arena.cpp).
+//
+// Either regime can additionally run *inter-op parallel*
+// (ExecutorOptions{.parallelism = N}): construction partitions the schedule
+// into memory-bounded wavefronts (runtime/wavefront.hpp) and run() executes
+// wave by wave, dispatching each wave's mutually independent nodes onto a
+// dedicated thread pool with an atomic per-node dependency countdown.  Waves
+// are separated by barriers, which is what makes the memory story sound: no
+// value is freed (reference) or has its slot reused (arena) while a lane
+// might still be reading it.  In arena mode the plan is packed with
+// wavefront-widened liveness, so two values share bytes only if their waves
+// never overlap.  Outputs remain bit-identical to the sequential paths —
+// kernels fix each output element's accumulation order regardless of how
+// work is partitioned — and all guardrails (check_numerics, canaries,
+// failpoints) stay active under concurrency, with exactly-once fault
+// propagation through the pool.
 #pragma once
 
+#include <memory>
 #include <vector>
 
 #include "ir/graph.hpp"
+#include "parallel/thread_pool.hpp"
 #include "runtime/allocator.hpp"
 #include "runtime/arena.hpp"
 #include "runtime/liveness.hpp"
+#include "runtime/wavefront.hpp"
 
 namespace temco::runtime {
 
@@ -59,6 +77,16 @@ struct ExecutorOptions {
   /// The slab is also poison-filled at construction so reads of
   /// never-written slots produce NaNs that check_numerics can catch.
   bool arena_canaries = false;
+
+  /// Inter-op lanes.  1 (default): the sequential node-by-node loop.  N > 1:
+  /// wavefront execution on a dedicated N-thread pool (see file comment);
+  /// 0 means "one lane per hardware thread".  Orthogonal to use_arena;
+  /// composes with every guardrail above.
+  std::size_t parallelism = 1;
+
+  /// Budget for concurrent-lifetime widening when parallelism != 1, as a
+  /// multiple of the sequential planned peak (WavefrontOptions::memory_slack).
+  double wavefront_memory_slack = 1.125;
 };
 
 class Executor {
@@ -74,6 +102,9 @@ class Executor {
   /// The adopted packing; nullptr unless use_arena.
   const ArenaPlan* arena_plan() const { return options_.use_arena ? &plan_ : nullptr; }
 
+  /// The adopted partition; nullptr unless parallelism != 1.
+  const WavefrontPartition* wavefronts() const { return lanes_ > 1 ? &waves_ : nullptr; }
+
  private:
   void bind_arena();
   void check_inputs(const std::vector<Tensor>& inputs) const;
@@ -82,12 +113,18 @@ class Executor {
   void check_canary(ir::ValueId id, const ir::Node& at) const;
   ExecutionResult run_reference(const std::vector<Tensor>& inputs);
   ExecutionResult run_arena(const std::vector<Tensor>& inputs);
+  ExecutionResult run_wavefront(const std::vector<Tensor>& inputs);
 
   const ir::Graph& graph_;
   ExecutorOptions options_;
   std::vector<LiveRange> liveness_;
   std::vector<std::vector<ir::ValueId>> dying_;
   std::vector<ir::ValueId> input_ids_;
+
+  // ---- wavefront state (populated only when lanes_ > 1) -------------------
+  std::size_t lanes_ = 1;
+  WavefrontPartition waves_;
+  std::unique_ptr<ThreadPool> inter_pool_;
 
   // ---- arena state (populated only when options_.use_arena) ---------------
   ArenaPlan plan_;

@@ -18,17 +18,33 @@ using ir::Graph;
 using ir::Node;
 using ir::ValueId;
 
-/// Rebuilds the graph with nodes in `order` (a permutation of ids).
+/// Rebuilds the graph with nodes in `order` (a permutation of ids).  Only
+/// ids are remapped: every other node field — the name, the weight tensors
+/// (shared, not copied), attrs, kind — is carried over verbatim, so a
+/// scheduled graph stays debuggable against the original and weights keep
+/// aliasing the same storage.  Tested in tests/test_scheduler.cpp.
 Graph rebuild_in_order(const Graph& graph, const std::vector<ValueId>& order) {
   Graph out;
   std::vector<ValueId> remap(graph.size(), ir::kInvalidValue);
   for (const ValueId id : order) {
     ir::Node copy = graph.node(id);
-    for (ValueId& in : copy.inputs) in = remap[static_cast<std::size_t>(in)];
+    for (ValueId& in : copy.inputs) {
+      in = remap[static_cast<std::size_t>(in)];
+      // A producer not yet remapped means `order` is not a topological
+      // permutation; catch it here with the node named rather than letting
+      // kInvalidValue index out.verify()'s internals.
+      TEMCO_CHECK_AS(in != ir::kInvalidValue, InvalidGraphError)
+          << copy.name << " scheduled before one of its producers";
+    }
     remap[static_cast<std::size_t>(id)] = out.append(std::move(copy));
   }
   std::vector<ValueId> outputs;
-  for (const ValueId o : graph.outputs()) outputs.push_back(remap[static_cast<std::size_t>(o)]);
+  for (const ValueId o : graph.outputs()) {
+    const ValueId mapped = remap[static_cast<std::size_t>(o)];
+    TEMCO_CHECK_AS(mapped != ir::kInvalidValue, InvalidGraphError)
+        << "graph output " << graph.node(o).name << " missing from the schedule";
+    outputs.push_back(mapped);
+  }
   out.set_outputs(std::move(outputs));
   out.infer_shapes();
   out.verify();
@@ -37,7 +53,8 @@ Graph rebuild_in_order(const Graph& graph, const std::vector<ValueId>& order) {
 
 }  // namespace
 
-ScheduleResult schedule_for_memory(const ir::Graph& graph) {
+ScheduleResult schedule_for_memory(const ir::Graph& graph,
+                                   const WavefrontOptions& wave_options) {
   const std::size_t n = graph.size();
   const auto users = graph.users();
 
@@ -115,7 +132,12 @@ ScheduleResult schedule_for_memory(const ir::Graph& graph) {
     result.graph = graph;
     result.peak_after = result.peak_before;
   }
-  TEMCO_INFO() << "scheduler: peak " << result.peak_before << " -> " << result.peak_after;
+  // Concurrency metadata for whichever order won: the partition is a
+  // property of the final schedule, so it is computed last.
+  result.wavefronts = partition_wavefronts(result.graph, wave_options);
+  TEMCO_INFO() << "scheduler: peak " << result.peak_before << " -> " << result.peak_after
+               << ", " << result.wavefronts.waves.size() << " wavefront(s), max width "
+               << result.wavefronts.max_width;
   return result;
 }
 

@@ -1,0 +1,174 @@
+#include "runtime/wavefront.hpp"
+
+#include <algorithm>
+
+#include "support/align.hpp"
+#include "support/error.hpp"
+
+namespace temco::runtime {
+
+namespace {
+
+/// Bytes a value occupies in every accountant (planner / allocator / arena):
+/// its tensor rounded up to the shared 64-byte size class.
+std::int64_t padded_bytes(const ir::Node& node) { return align_up(node.out_shape.bytes()); }
+
+/// Sequential §2.2 peak (alloc at definition, free after last use) — the
+/// baseline the widening budget is a multiple of.  Matches
+/// plan_memory().peak_internal_bytes without dragging in the planner (and its
+/// arena cross-check) as a dependency.
+std::int64_t sequential_peak(const ir::Graph& graph,
+                             const std::vector<std::vector<ir::ValueId>>& dying) {
+  std::int64_t live = 0;
+  std::int64_t peak = 0;
+  for (const ir::Node& node : graph.nodes()) {
+    live += padded_bytes(node);
+    peak = std::max(peak, live);
+    for (const ir::ValueId dead : dying[static_cast<std::size_t>(node.id)]) {
+      if (!graph.is_output(dead)) live -= padded_bytes(graph.node(dead));
+    }
+  }
+  return peak;
+}
+
+}  // namespace
+
+WavefrontPartition partition_wavefronts(const ir::Graph& graph, WavefrontOptions options) {
+  graph.verify();
+  const std::size_t n = graph.size();
+  const std::vector<LiveRange> liveness = compute_liveness(graph);
+  const std::vector<std::vector<ir::ValueId>> dying = values_dying_at(graph, liveness);
+
+  WavefrontPartition partition;
+  partition.wave_of.assign(n, -1);
+  partition.dep_counts.assign(n, 0);
+  partition.users.resize(n);
+  for (const ir::Node& node : graph.nodes()) {
+    std::vector<ir::ValueId> distinct = node.inputs;
+    std::sort(distinct.begin(), distinct.end());
+    distinct.erase(std::unique(distinct.begin(), distinct.end()), distinct.end());
+    partition.dep_counts[static_cast<std::size_t>(node.id)] =
+        static_cast<std::int32_t>(distinct.size());
+    for (const ir::ValueId in : distinct) {
+      partition.users[static_cast<std::size_t>(in)].push_back(node.id);
+    }
+  }
+
+  partition.sequential_peak_bytes = sequential_peak(graph, dying);
+  partition.budget_bytes =
+      options.max_live_bytes > 0
+          ? options.max_live_bytes
+          : static_cast<std::int64_t>(static_cast<double>(partition.sequential_peak_bytes) *
+                                      std::max(1.0, options.memory_slack));
+
+  // Greedy wave formation over the schedule.  `live` tracks the
+  // wavefront-widened live set: a value comes alive when its node joins a
+  // wave and dies only when the wave containing its last consumer *closes* —
+  // mid-wave frees are impossible when the wave runs concurrently.
+  std::vector<Wave>& waves = partition.waves;
+  std::int64_t live = 0;
+  // A value whose last use falls anywhere inside a wave is freed when the
+  // wave closes, at the barrier.  Processing every member's death list at
+  // close time makes the post-wave live set equal the sequential one at the
+  // same schedule point — widening only ever moves frees later, never
+  // earlier.
+  auto close_wave = [&](ir::ValueId last) {
+    Wave& wave = waves.back();
+    wave.last = last;
+    for (ir::ValueId id = wave.first; id <= wave.last; ++id) {
+      for (const ir::ValueId dead : dying[static_cast<std::size_t>(id)]) {
+        if (!graph.is_output(dead)) live -= padded_bytes(graph.node(dead));
+      }
+    }
+  };
+
+  for (const ir::Node& node : graph.nodes()) {
+    bool join = !waves.empty();
+    if (join) {
+      const Wave& wave = waves.back();
+      // (a) Independence: none of this node's producers may sit in the open
+      //     wave — a wave's members must be runnable in any interleaving.
+      for (const ir::ValueId in : node.inputs) {
+        if (in >= wave.first) {
+          join = false;
+          break;
+        }
+      }
+      // (b) Memory bound: admitting the node keeps the widened live set
+      //     within budget.  Deaths only happen at wave close, so the check
+      //     is exact, not an estimate.
+      if (join && live + padded_bytes(node) > partition.budget_bytes) join = false;
+      // (c) Width bound.
+      if (join && options.max_wave_width != 0 &&
+          static_cast<std::size_t>(node.id) - static_cast<std::size_t>(wave.first) >=
+              options.max_wave_width) {
+        join = false;
+      }
+    }
+    if (!join) {
+      if (!waves.empty()) close_wave(node.id - 1);
+      waves.push_back(Wave{node.id, ir::kInvalidValue});
+    }
+    partition.wave_of[static_cast<std::size_t>(node.id)] =
+        static_cast<std::int32_t>(waves.size()) - 1;
+    live += padded_bytes(node);
+    partition.peak_live_bytes = std::max(partition.peak_live_bytes, live);
+  }
+  if (!waves.empty()) close_wave(static_cast<ir::ValueId>(n) - 1);
+
+  for (const Wave& wave : waves) partition.max_width = std::max(partition.max_width, wave.width());
+  return partition;
+}
+
+void validate_wavefronts(const ir::Graph& graph, const WavefrontPartition& partition) {
+  const std::size_t n = graph.size();
+  TEMCO_CHECK_AS(partition.wave_of.size() == n && partition.dep_counts.size() == n &&
+                     partition.users.size() == n,
+                 InvalidGraphError)
+      << "wavefront partition covers " << partition.wave_of.size() << " values, graph has " << n;
+
+  // Waves tile [0, n) contiguously and in order.
+  ir::ValueId next = 0;
+  for (std::size_t w = 0; w < partition.waves.size(); ++w) {
+    const Wave& wave = partition.waves[w];
+    TEMCO_CHECK_AS(wave.first == next && wave.last >= wave.first, InvalidGraphError)
+        << "wave " << w << " [" << wave.first << ", " << wave.last
+        << "] does not tile the schedule (expected first == " << next << ")";
+    for (ir::ValueId id = wave.first; id <= wave.last; ++id) {
+      TEMCO_CHECK_AS(partition.wave_of[static_cast<std::size_t>(id)] ==
+                         static_cast<std::int32_t>(w),
+                     InvalidGraphError)
+          << graph.node(id).name << " has wave_of " << partition.wave_of[static_cast<std::size_t>(id)]
+          << ", lives in wave " << w;
+    }
+    next = wave.last + 1;
+  }
+  TEMCO_CHECK_AS(next == static_cast<ir::ValueId>(n), InvalidGraphError)
+      << "waves cover " << next << " of " << n << " nodes";
+
+  // Every def-use edge crosses a wave boundary, and the countdown metadata
+  // matches the graph's edges exactly.
+  for (const ir::Node& node : graph.nodes()) {
+    std::vector<ir::ValueId> distinct = node.inputs;
+    std::sort(distinct.begin(), distinct.end());
+    distinct.erase(std::unique(distinct.begin(), distinct.end()), distinct.end());
+    TEMCO_CHECK_AS(partition.dep_counts[static_cast<std::size_t>(node.id)] ==
+                       static_cast<std::int32_t>(distinct.size()),
+                   InvalidGraphError)
+        << graph.node(node.id).name << " dep_count mismatch";
+    for (const ir::ValueId in : distinct) {
+      TEMCO_CHECK_AS(partition.wave_of[static_cast<std::size_t>(in)] <
+                         partition.wave_of[static_cast<std::size_t>(node.id)],
+                     InvalidGraphError)
+          << graph.node(node.id).name << " and its producer " << graph.node(in).name
+          << " share wave " << partition.wave_of[static_cast<std::size_t>(node.id)]
+          << " — a wave must be dependency-free";
+      const auto& users = partition.users[static_cast<std::size_t>(in)];
+      TEMCO_CHECK_AS(std::find(users.begin(), users.end(), node.id) != users.end(),
+                     InvalidGraphError)
+          << graph.node(in).name << " users list is missing " << graph.node(node.id).name;
+    }
+  }
+}
+
+}  // namespace temco::runtime

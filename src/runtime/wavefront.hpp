@@ -1,0 +1,108 @@
+// Wavefront (inter-op) concurrency metadata.
+//
+// The node list of a scheduled graph is a *sequential* order; wide graphs
+// (Inception branches, U-Net arms, the parallel fconv/lconv chains TeMCO's
+// layer transformations create) contain runs of mutually independent nodes
+// that a serving runtime wants to execute concurrently.  This module cuts the
+// schedule into **wavefronts**: maximal contiguous windows of the node list
+// in which no node consumes another's output.  Waves execute in order with a
+// barrier between them; nodes inside one wave may run in any interleaving,
+// including fully concurrently.
+//
+// Running a wave concurrently changes tensor lifetimes: a value can no longer
+// be freed mid-wave (its last consumer may still be running on another lane),
+// so every live interval is effectively *widened* to wavefront boundaries.
+// That widening is exactly what the concurrency-aware arena packing mode
+// (runtime/arena.hpp, ArenaOptions::wavefronts) consumes: two values may
+// share a slot only if their widened intervals — i.e. their wavefront spans —
+// are disjoint, which makes slot reuse safe under any intra-wave
+// interleaving.  Wave formation is memory-bounded so the widening cannot
+// inflate the live set past a configured multiple of the sequential peak: the
+// schedule and the memory plan stay one artifact (the DLMO coupling), just
+// with concurrency as an explicit third axis.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ir/graph.hpp"
+#include "runtime/liveness.hpp"
+
+namespace temco::runtime {
+
+struct WavefrontOptions {
+  /// Budget for concurrent-lifetime widening, as a multiple of the
+  /// sequential planned peak: a wave stops growing once the wavefront-widened
+  /// live set would exceed `memory_slack x sequential_peak_bytes`.  1.0 still
+  /// admits waves whose members' lifetimes happen to overlap anyway; width-1
+  /// waves are always admitted, so the partition can never be *forced* above
+  /// the sequential peak by the bound itself.
+  double memory_slack = 1.125;
+
+  /// Absolute override of the widened-live-set budget in bytes; 0 derives it
+  /// from `memory_slack` as above.
+  std::int64_t max_live_bytes = 0;
+
+  /// Maximum nodes per wave; 0 = unbounded.  Width 1 degenerates to the
+  /// sequential schedule (widened liveness == sequential liveness, and the
+  /// concurrency-aware arena plan is bit-identical to the sequential plan).
+  std::size_t max_wave_width = 0;
+};
+
+/// One wavefront: the contiguous node-id window [first, last] of the
+/// schedule.  Contiguity is by construction — waves are cut from the node
+/// list in order — which is what lets interval widening stay an interval.
+struct Wave {
+  ir::ValueId first = ir::kInvalidValue;
+  ir::ValueId last = ir::kInvalidValue;
+
+  std::size_t width() const { return static_cast<std::size_t>(last - first) + 1; }
+};
+
+struct WavefrontPartition {
+  std::vector<Wave> waves;
+  std::vector<std::int32_t> wave_of;  ///< per value: index into `waves`
+
+  /// Per-node count of *distinct* producer values (a concat({v, v}) counts v
+  /// once).  This is the initial value of the executor's atomic dependency
+  /// countdown: a node is dispatchable when its count reaches zero, and the
+  /// wavefront invariant guarantees that holds for every node of wave w once
+  /// waves 0..w-1 have retired.
+  std::vector<std::int32_t> dep_counts;
+
+  /// Per value: distinct consumer node ids, in schedule order — the edges the
+  /// executor walks to count down `dep_counts` when a node completes.
+  std::vector<std::vector<ir::ValueId>> users;
+
+  /// Peak of the wavefront-widened live set (64-byte size classes, like the
+  /// planner) — what a concurrent execution actually holds at once.
+  std::int64_t peak_live_bytes = 0;
+
+  /// The sequential planner peak the budget was derived from.
+  std::int64_t sequential_peak_bytes = 0;
+
+  /// The widening budget that was enforced (see WavefrontOptions).
+  std::int64_t budget_bytes = 0;
+
+  std::size_t max_width = 0;  ///< widest wave
+
+  /// A value's live interval widened to the wavefront boundaries of its
+  /// definition and last use — the interval the concurrency-aware arena
+  /// packing uses in place of sequential liveness.
+  LiveRange widened(const LiveRange& range) const {
+    return LiveRange{waves[static_cast<std::size_t>(wave_of[static_cast<std::size_t>(range.begin)])].first,
+                     waves[static_cast<std::size_t>(wave_of[static_cast<std::size_t>(range.end)])].last};
+  }
+};
+
+/// Cuts the graph's schedule into memory-bounded wavefronts.  Requires a
+/// verified, shape-inferred graph; the node list order is the schedule.
+WavefrontPartition partition_wavefronts(const ir::Graph& graph, WavefrontOptions options = {});
+
+/// Structural safety net over an emitted partition: waves must tile the
+/// schedule contiguously, every def-use edge must cross a wave boundary
+/// (nodes of one wave are mutually independent), and dep_counts/users must
+/// match the graph.  Throws InvalidGraphError on violation.  O(edges).
+void validate_wavefronts(const ir::Graph& graph, const WavefrontPartition& partition);
+
+}  // namespace temco::runtime

@@ -2,8 +2,12 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <map>
+#include <mutex>
 #include <numeric>
+#include <set>
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
 #include "parallel/parallel_for.hpp"
@@ -62,6 +66,72 @@ TEST(ThreadPoolTest, ConcurrencyCountsCaller) {
   EXPECT_EQ(pool.concurrency(), 3u);
   ThreadPool solo(1);
   EXPECT_EQ(solo.concurrency(), 1u);
+}
+
+TEST(ThreadPoolTest, NestedRunExecutesInlineAndCompletes) {
+  // A task may itself call run (the wavefront executor's node tasks invoke
+  // kernels whose parallel_for targets the global pool).  The nested batch
+  // must detect the task context, run inline, and never deadlock.
+  ThreadPool outer(4);
+  ThreadPool inner(4);
+  std::atomic<int> count{0};
+  outer.run(8, [&](std::size_t) {
+    EXPECT_TRUE(ThreadPool::in_task());
+    inner.run(16, [&](std::size_t) {
+      EXPECT_TRUE(ThreadPool::in_task());
+      count.fetch_add(1);
+    });
+    // Self-nesting on the same pool must be inline too.
+    outer.run(4, [&](std::size_t) { count.fetch_add(1); });
+  });
+  EXPECT_EQ(count.load(), 8 * (16 + 4));
+  EXPECT_FALSE(ThreadPool::in_task());
+}
+
+TEST(ThreadPoolTest, WorkerSlotsAreBoundedAndCallerIsZero) {
+  // Lane ids index per-lane scratch: the caller must be 0, every worker must
+  // be unique in [1, concurrency), and ids must be stable across batches.
+  EXPECT_EQ(ThreadPool::worker_slot(), 0u);
+  ThreadPool pool(4);
+  std::mutex mutex;
+  std::map<std::thread::id, std::set<std::size_t>> slots_by_thread;
+  for (int round = 0; round < 20; ++round) {
+    pool.run(64, [&](std::size_t) {
+      const std::size_t slot = ThreadPool::worker_slot();
+      ASSERT_LT(slot, pool.concurrency());
+      std::lock_guard<std::mutex> lock(mutex);
+      slots_by_thread[std::this_thread::get_id()].insert(slot);
+    });
+  }
+  std::set<std::size_t> distinct;
+  for (const auto& [thread, slots] : slots_by_thread) {
+    EXPECT_EQ(slots.size(), 1u) << "a thread's lane id changed between batches";
+    distinct.insert(*slots.begin());
+  }
+  EXPECT_EQ(distinct.size(), slots_by_thread.size()) << "two threads share a lane id";
+}
+
+TEST(ThreadPoolTest, StressManyBatchesWithRacingExceptions) {
+  // Exactly-once propagation under contention: every round throws from a
+  // different index while other lanes keep claiming work; the pool must
+  // surface one error per round and stay fully usable.
+  ThreadPool pool(4);
+  for (int round = 0; round < 100; ++round) {
+    std::atomic<int> done{0};
+    const std::size_t bad = static_cast<std::size_t>(round) % 32;
+    try {
+      pool.run(32, [&](std::size_t i) {
+        if (i == bad) throw std::runtime_error("boom");
+        done.fetch_add(1);
+      });
+      FAIL() << "round " << round << " swallowed the error";
+    } catch (const std::runtime_error&) {
+    }
+    ASSERT_LE(done.load(), 31) << "round " << round;
+    std::atomic<int> count{0};
+    pool.run(8, [&](std::size_t) { count.fetch_add(1); });
+    ASSERT_EQ(count.load(), 8) << "round " << round;
+  }
 }
 
 TEST(ParallelForTest, SumMatchesSerial) {
