@@ -1,125 +1,266 @@
-// Kernel microbenchmarks (google-benchmark): dense conv, pointwise conv,
-// and — the §3.2 trade-off — fused lconv-act-fconv vs the unfused sequence.
-// The fused kernel trades a modest time overhead for never materializing the
-// restored tensor; this is the per-kernel version of Fig. 11's overhead.
-#include <benchmark/benchmark.h>
+// Kernel micro-benchmarks: GEMM engine vs the retained naive baselines.
+//
+// Measures the paths the GEMM micro-kernel engine took over — 1×1 convs on
+// the zoo's decomposed shapes, dense stride-1/strided convs, matmul, and the
+// fused sandwich — each against the pre-GEMM kernel preserved in
+// kernels/naive.{hpp,cpp}.  Engine variants are timed in *serial* mode so the
+// speedup column is a single-thread like-for-like comparison (the engine's
+// parallel block grid is bit-identical and comes on top).
+//
+// Emits a human table on stdout and a machine-readable JSON array (default
+// BENCH_kernels.json, override with --json PATH) with one row per
+// (kernel, shape, variant):
+//   {"kernel", "shape", "variant", "ns_per_iter", "gflops", "speedup_vs_naive"}
+//
+// Flags: --min-ms N   measurement window per variant (default 80)
+//        --json PATH  output path (default BENCH_kernels.json)
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
 
+#include "kernels/gemm.hpp"
 #include "kernels/kernels.hpp"
+#include "kernels/naive.hpp"
+#include "linalg/matmul.hpp"
 #include "support/rng.hpp"
+#include "support/timer.hpp"
+#include "tensor/tensor.hpp"
 
 namespace {
 
-using namespace temco;
+using temco::Rng;
+using temco::Shape;
+using temco::Tensor;
+using temco::Timer;
+namespace kernels = temco::kernels;
+namespace gemm = temco::kernels::gemm;
 
-void BM_Conv3x3(benchmark::State& state) {
-  const std::int64_t c = state.range(0);
-  const std::int64_t hw = state.range(1);
-  Rng rng(1);
-  const Tensor x = Tensor::random_normal(Shape{1, c, hw, hw}, rng);
-  const Tensor w = Tensor::random_normal(Shape{c, c, 3, 3}, rng, 0.1f);
-  const Tensor b = Tensor::zeros(Shape{c});
-  Tensor out = Tensor::zeros(Shape{1, c, hw, hw});
-  for (auto _ : state) {
-    kernels::conv2d(x, w, b, 1, 1, 1, 1, out);
-    benchmark::DoNotOptimize(out.data());
-  }
-  state.SetItemsProcessed(state.iterations() * 2 * c * c * 9 * hw * hw);
-}
-BENCHMARK(BM_Conv3x3)->Args({32, 16})->Args({64, 16})->Args({32, 32});
+double g_min_ms = 80.0;
 
-void BM_Conv1x1(benchmark::State& state) {
-  const std::int64_t c_in = state.range(0);
-  const std::int64_t c_out = state.range(1);
-  const std::int64_t hw = 32;
-  Rng rng(2);
-  const Tensor x = Tensor::random_normal(Shape{1, c_in, hw, hw}, rng);
-  const Tensor w = Tensor::random_normal(Shape{c_out, c_in, 1, 1}, rng, 0.1f);
-  const Tensor b = Tensor::zeros(Shape{c_out});
-  Tensor out = Tensor::zeros(Shape{1, c_out, hw, hw});
-  for (auto _ : state) {
-    kernels::conv2d(x, w, b, 1, 1, 0, 0, out);
-    benchmark::DoNotOptimize(out.data());
-  }
-  state.SetItemsProcessed(state.iterations() * 2 * c_in * c_out * hw * hw);
-}
-BENCHMARK(BM_Conv1x1)->Args({8, 64})->Args({64, 8})->Args({64, 64});
-
-// Fused vs unfused lconv(relu(fconv)) sandwich, identical math.
-struct SandwichConfig {
-  std::int64_t c_reduced, c_restored, c_out, hw;
+struct Row {
+  std::string kernel;
+  std::string shape;
+  std::string variant;
+  double ns_per_iter = 0.0;
+  double gflops = 0.0;
+  double speedup = 1.0;  ///< vs the naive variant of the same (kernel, shape)
 };
 
-const SandwichConfig kSandwich{8, 64, 8, 32};
+std::vector<Row> g_rows;
 
-void BM_SandwichUnfused(benchmark::State& state) {
-  Rng rng(3);
-  const auto& p = kSandwich;
-  const Tensor x = Tensor::random_normal(Shape{1, p.c_reduced, p.hw, p.hw}, rng);
-  const Tensor w1 = Tensor::random_normal(Shape{p.c_restored, p.c_reduced, 1, 1}, rng, 0.1f);
-  const Tensor b1 = Tensor::zeros(Shape{p.c_restored});
-  const Tensor w2 = Tensor::random_normal(Shape{p.c_out, p.c_restored, 1, 1}, rng, 0.1f);
-  const Tensor b2 = Tensor::zeros(Shape{p.c_out});
-  Tensor restored = Tensor::zeros(Shape{1, p.c_restored, p.hw, p.hw});
-  Tensor activated = Tensor::zeros(restored.shape());
-  Tensor out = Tensor::zeros(Shape{1, p.c_out, p.hw, p.hw});
-  for (auto _ : state) {
-    kernels::conv2d(x, w1, b1, 1, 1, 0, 0, restored);
-    kernels::relu(restored, activated);
-    kernels::conv2d(activated, w2, b2, 1, 1, 0, 0, out);
-    benchmark::DoNotOptimize(out.data());
-  }
-  state.counters["intermediate_bytes"] =
-      static_cast<double>(restored.bytes() + activated.bytes());
+/// Times fn (one warmup call, then iterations until the window elapses) and
+/// records a table/JSON row.  Returns ns/iter so callers can compute speedups.
+template <typename Fn>
+double bench_case(const std::string& kernel, const std::string& shape, const std::string& variant,
+                  double flops_per_iter, double naive_ns, Fn&& fn) {
+  fn();
+  Timer timer;
+  std::int64_t iters = 0;
+  do {
+    fn();
+    ++iters;
+  } while (timer.elapsed_ms() < g_min_ms);
+  const double ns = timer.elapsed_seconds() * 1e9 / static_cast<double>(iters);
+  Row row;
+  row.kernel = kernel;
+  row.shape = shape;
+  row.variant = variant;
+  row.ns_per_iter = ns;
+  row.gflops = flops_per_iter / ns;  // flops/ns == Gflop/s
+  row.speedup = naive_ns > 0.0 ? naive_ns / ns : 1.0;
+  g_rows.push_back(row);
+  std::printf("%-10s %-22s %-12s %12.0f ns  %7.2f GFLOP/s  %5.2fx\n", kernel.c_str(),
+              shape.c_str(), variant.c_str(), ns, row.gflops, row.speedup);
+  return ns;
 }
-BENCHMARK(BM_SandwichUnfused);
 
-void BM_SandwichFused(benchmark::State& state) {
-  Rng rng(3);
-  const auto& p = kSandwich;
-  const Tensor x = Tensor::random_normal(Shape{1, p.c_reduced, p.hw, p.hw}, rng);
-  const Tensor w1 = Tensor::random_normal(Shape{p.c_restored, p.c_reduced, 1, 1}, rng, 0.1f);
-  const Tensor b1 = Tensor::zeros(Shape{p.c_restored});
-  const Tensor w2 = Tensor::random_normal(Shape{p.c_out, p.c_restored, 1, 1}, rng, 0.1f);
-  const Tensor b2 = Tensor::zeros(Shape{p.c_out});
-  Tensor out = Tensor::zeros(Shape{1, p.c_out, p.hw, p.hw});
-  for (auto _ : state) {
-    kernels::fused_conv_act_conv(x, w1, b1, w2, b2, ir::ActKind::kRelu, false,
-                                 ir::PoolKind::kMax, 2, 2, out);
-    benchmark::DoNotOptimize(out.data());
-  }
-  state.counters["intermediate_bytes"] = static_cast<double>(
-      kernels::fused_scratch_bytes(p.c_restored, p.hw, false, p.hw));
+Tensor random(const Shape& shape, std::uint64_t seed) {
+  Rng rng(seed);
+  return Tensor::random_normal(shape, rng);
 }
-BENCHMARK(BM_SandwichFused);
 
-void BM_FusedWithPool(benchmark::State& state) {
-  Rng rng(4);
-  const auto& p = kSandwich;
-  const Tensor x = Tensor::random_normal(Shape{1, p.c_reduced, p.hw, p.hw}, rng);
-  const Tensor w1 = Tensor::random_normal(Shape{p.c_restored, p.c_reduced, 1, 1}, rng, 0.1f);
-  const Tensor b1 = Tensor::zeros(Shape{p.c_restored});
-  const Tensor w2 = Tensor::random_normal(Shape{p.c_out, p.c_restored, 1, 1}, rng, 0.1f);
-  const Tensor b2 = Tensor::zeros(Shape{p.c_out});
-  Tensor out = Tensor::zeros(Shape{1, p.c_out, p.hw / 2, p.hw / 2});
-  for (auto _ : state) {
-    kernels::fused_conv_act_conv(x, w1, b1, w2, b2, ir::ActKind::kRelu, true,
-                                 ir::PoolKind::kMax, 2, 2, out);
-    benchmark::DoNotOptimize(out.data());
-  }
-}
-BENCHMARK(BM_FusedWithPool);
+/// The engine's 1×1 conv with packing hoisted out and the block grid pinned
+/// to serial — the steady-state single-thread inner loop, nothing else.
+void conv1x1_zoo() {
+  struct Case { std::int64_t c_in, c_out, hw_side, batch; };
+  const Case cases[] = {
+      {8, 64, 32, 1},  {64, 8, 32, 1},  {16, 128, 32, 1}, {128, 16, 32, 1},
+      {32, 32, 32, 1}, {64, 64, 32, 1}, {64, 64, 16, 1},  {64, 64, 32, 4},
+  };
+  std::vector<double> speedups;
+  for (const Case& c : cases) {
+    const std::int64_t hw = c.hw_side * c.hw_side;
+    const Tensor x = random(Shape{c.batch, c.c_in, c.hw_side, c.hw_side}, 1);
+    const Tensor w = random(Shape{c.c_out, c.c_in, 1, 1}, 2);
+    const Tensor b = random(Shape{c.c_out}, 3);
+    Tensor out = Tensor::zeros(Shape{c.batch, c.c_out, c.hw_side, c.hw_side});
+    const double flops = 2.0 * static_cast<double>(c.batch * c.c_out * c.c_in * hw);
+    char shape[64];
+    std::snprintf(shape, sizeof(shape), "n%lldc%lld>%lld@%lldx%lld",
+                  static_cast<long long>(c.batch), static_cast<long long>(c.c_in),
+                  static_cast<long long>(c.c_out), static_cast<long long>(c.hw_side),
+                  static_cast<long long>(c.hw_side));
 
-void BM_MaxPool(benchmark::State& state) {
-  Rng rng(5);
-  const Tensor x = Tensor::random_normal(Shape{1, 64, 64, 64}, rng);
-  Tensor out = Tensor::zeros(Shape{1, 64, 32, 32});
-  for (auto _ : state) {
-    kernels::pool(x, ir::PoolKind::kMax, 2, 2, 2, 2, out);
-    benchmark::DoNotOptimize(out.data());
+    const double naive_ns = bench_case("conv1x1", shape, "naive", flops, 0.0, [&] {
+      kernels::naive::conv1x1(x, w, b, out);
+    });
+
+    std::vector<float> packed(static_cast<std::size_t>(gemm::packed_a_floats(c.c_out, c.c_in)));
+    gemm::pack_a(w.data(), c.c_in, 1, c.c_out, c.c_in, packed.data());
+    gemm::GemmOptions options;
+    options.bias = b.data();
+    options.init = gemm::Init::kRowBias;
+    options.parallel = false;
+    options.batch = c.batch;
+    options.b_batch_stride = c.c_in * hw;
+    options.c_batch_stride = c.c_out * hw;
+    const double gemm_ns = bench_case("conv1x1", shape, "gemm-1t", flops, naive_ns, [&] {
+      gemm::gemm_packed(packed.data(), c.c_out, c.c_in, x.data(), hw, hw, out.data(), hw, options);
+    });
+    speedups.push_back(naive_ns / gemm_ns);
+
+    // The production entry point: pool-parallel grid, packs on the fly.
+    bench_case("conv1x1", shape, "conv2d-api", flops, naive_ns, [&] {
+      kernels::conv2d(x, w, b, 1, 1, 0, 0, out);
+    });
   }
+  double log_sum = 0.0;
+  for (const double s : speedups) log_sum += std::log(s);
+  std::printf("conv1x1 gemm-1t geomean speedup: %.2fx\n\n",
+              std::exp(log_sum / static_cast<double>(speedups.size())));
 }
-BENCHMARK(BM_MaxPool);
+
+void conv_dense() {
+  struct Case { std::int64_t c_in, c_out, side, k, stride, pad; };
+  const Case cases[] = {
+      {32, 32, 32, 3, 1, 1},
+      {16, 64, 32, 3, 1, 1},
+      {32, 32, 32, 3, 2, 1},
+  };
+  for (const Case& c : cases) {
+    const std::int64_t h_out = (c.side + 2 * c.pad - c.k) / c.stride + 1;
+    const Tensor x = random(Shape{1, c.c_in, c.side, c.side}, 4);
+    const Tensor w = random(Shape{c.c_out, c.c_in, c.k, c.k}, 5);
+    const Tensor b = random(Shape{c.c_out}, 6);
+    Tensor out = Tensor::zeros(Shape{1, c.c_out, h_out, h_out});
+    const double flops =
+        2.0 * static_cast<double>(c.c_out * c.c_in * c.k * c.k * h_out * h_out);
+    char shape[64];
+    std::snprintf(shape, sizeof(shape), "c%lld>%lld@%lldx%lld k%llds%lld",
+                  static_cast<long long>(c.c_in), static_cast<long long>(c.c_out),
+                  static_cast<long long>(c.side), static_cast<long long>(c.side),
+                  static_cast<long long>(c.k), static_cast<long long>(c.stride));
+    const double naive_ns = bench_case("conv2d", shape, "naive", flops, 0.0, [&] {
+      kernels::naive::conv2d(x, w, b, c.stride, c.stride, c.pad, c.pad, out);
+    });
+    std::vector<float> packed;
+    const std::int64_t pf = kernels::conv2d_prepack_floats(w, c.stride, c.stride, h_out);
+    if (pf > 0) {
+      packed.resize(static_cast<std::size_t>(pf));
+      kernels::conv2d_prepack(w, c.stride, c.stride, packed.data());
+    }
+    bench_case("conv2d", shape, pf > 0 ? "shifted-gemm" : "tiled", flops, naive_ns, [&] {
+      kernels::conv2d(x, w, b, c.stride, c.stride, c.pad, c.pad, out,
+                      packed.empty() ? nullptr : packed.data());
+    });
+  }
+  std::printf("\n");
+}
+
+void matmul_cases() {
+  struct Case { std::int64_t m, k, n; };
+  const Case cases[] = {{128, 128, 128}, {64, 256, 64}, {33, 100, 65}};
+  for (const Case& c : cases) {
+    const Tensor a = random(Shape{c.m, c.k}, 7);
+    const Tensor b = random(Shape{c.k, c.n}, 8);
+    const double flops = 2.0 * static_cast<double>(c.m * c.k * c.n);
+    char shape[64];
+    std::snprintf(shape, sizeof(shape), "%lldx%lldx%lld", static_cast<long long>(c.m),
+                  static_cast<long long>(c.k), static_cast<long long>(c.n));
+    const double naive_ns = bench_case("matmul", shape, "naive", flops, 0.0, [&] {
+      Tensor cmat = kernels::naive::matmul(a, b);
+      (void)cmat;
+    });
+    bench_case("matmul", shape, "gemm", flops, naive_ns, [&] {
+      Tensor cmat = temco::linalg::matmul(a, b);
+      (void)cmat;
+    });
+  }
+  std::printf("\n");
+}
+
+void fused_sandwich() {
+  const std::int64_t c2 = 8, cp = 64, c3 = 8, side = 32;
+  const Tensor x = random(Shape{1, c2, side, side}, 9);
+  const Tensor w1 = random(Shape{cp, c2, 1, 1}, 10);
+  const Tensor b1 = random(Shape{cp}, 11);
+  const Tensor w2 = random(Shape{c3, cp, 1, 1}, 12);
+  const Tensor b2 = random(Shape{c3}, 13);
+  Tensor mid = Tensor::zeros(Shape{1, cp, side, side});
+  Tensor act = Tensor::zeros(Shape{1, cp, side, side});
+  Tensor out = Tensor::zeros(Shape{1, c3, side, side});
+  const double flops = 2.0 * static_cast<double>(side * side * (cp * c2 + c3 * cp));
+  char shape[64];
+  std::snprintf(shape, sizeof(shape), "%lld>%lld>%lld@%lldx%lld", static_cast<long long>(c2),
+                static_cast<long long>(cp), static_cast<long long>(c3),
+                static_cast<long long>(side), static_cast<long long>(side));
+  const double unfused_ns = bench_case("sandwich", shape, "unfused", flops, 0.0, [&] {
+    kernels::conv2d(x, w1, b1, 1, 1, 0, 0, mid);
+    kernels::relu(mid, act);
+    kernels::conv2d(act, w2, b2, 1, 1, 0, 0, out);
+  });
+  std::vector<float> packed(static_cast<std::size_t>(kernels::fused_prepack_floats(w1, w2, side, side)));
+  kernels::fused_prepack(w1, w2, packed.data());
+  bench_case("sandwich", shape, "fused", flops, unfused_ns, [&] {
+    kernels::fused_conv_act_conv(x, w1, b1, w2, b2, temco::ir::ActKind::kRelu, false,
+                                 temco::ir::PoolKind::kMax, 0, 0, out, nullptr, 0, 0,
+                                 packed.data());
+  });
+  std::printf("\n");
+}
+
+void write_json(const char* path) {
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s for writing\n", path);
+    std::exit(1);
+  }
+  std::fprintf(f, "[\n");
+  for (std::size_t i = 0; i < g_rows.size(); ++i) {
+    const Row& r = g_rows[i];
+    std::fprintf(f,
+                 "  {\"kernel\": \"%s\", \"shape\": \"%s\", \"variant\": \"%s\", "
+                 "\"ns_per_iter\": %.1f, \"gflops\": %.3f, \"speedup_vs_naive\": %.3f}%s\n",
+                 r.kernel.c_str(), r.shape.c_str(), r.variant.c_str(), r.ns_per_iter, r.gflops,
+                 r.speedup, i + 1 < g_rows.size() ? "," : "");
+  }
+  std::fprintf(f, "]\n");
+  std::fclose(f);
+  std::printf("wrote %zu rows to %s\n", g_rows.size(), path);
+}
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  const char* json_path = "BENCH_kernels.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--min-ms") == 0 && i + 1 < argc) {
+      g_min_ms = std::stod(argv[++i]);
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--min-ms N] [--json PATH]\n", argv[0]);
+      return 2;
+    }
+  }
+  std::printf("%-10s %-22s %-12s %15s  %15s  %8s\n", "kernel", "shape", "variant", "time",
+              "throughput", "vs naive");
+  conv1x1_zoo();
+  conv_dense();
+  matmul_cases();
+  fused_sandwich();
+  write_json(json_path);
+  return 0;
+}

@@ -6,15 +6,18 @@
 //   restored row  : C′ × W   floats (lconv output + activation, one row)
 //   pooled row    : C′ × Wout floats (only when pooling is fused)
 // The full C′ × H × W intermediate never exists, which is exactly the memory
-// saving activation-layer fusion claims.  Accumulation per output element is
-// in a fixed order, so the fused kernel matches the unfused sequence
-// bit-for-bit up to float non-associativity of the *same* order — tests
-// compare with a small tolerance.
+// saving activation-layer fusion claims.  Both 1×1 inner products (lconv and
+// fconv) run on the GEMM micro-kernel engine in serial mode: per output
+// element the accumulation order is fixed by geometry, so the fused kernel
+// matches the unfused sequence bit-for-bit up to float non-associativity of
+// the *same* order — tests compare with a small tolerance — and the two
+// scratch modes below stay bitwise-identical.
 #include <algorithm>
 #include <cmath>
 #include <limits>
 #include <vector>
 
+#include "kernels/gemm.hpp"
 #include "kernels/kernels.hpp"
 #include "parallel/parallel_for.hpp"
 #include "parallel/thread_pool.hpp"
@@ -40,10 +43,29 @@ std::int64_t fused_scratch_bytes(std::int64_t restored_channels, std::int64_t wi
   return floats * static_cast<std::int64_t>(sizeof(float));
 }
 
+std::int64_t fused_prepack_floats(const Tensor& w1, const Tensor& w2, std::int64_t w_in,
+                                  std::int64_t w_out) {
+  // Tiles narrower than one register tile run the inline broadcast loops in
+  // fused_conv_act_conv and never touch the packed panels.
+  if (w_in < gemm::kNR && w_out < gemm::kNR) return 0;
+  return gemm::packed_a_floats(w1.shape()[0], w1.shape()[1]) +
+         gemm::packed_a_floats(w2.shape()[0], w2.shape()[1]);
+}
+
+void fused_prepack(const Tensor& w1, const Tensor& w2, float* out) {
+  const std::int64_t c_restored = w1.shape()[0];
+  const std::int64_t c_reduced = w1.shape()[1];
+  const std::int64_t c_out = w2.shape()[0];
+  gemm::pack_a(w1.data(), c_reduced, 1, c_restored, c_reduced, out);
+  gemm::pack_a(w2.data(), c_restored, 1, c_out, c_restored,
+               out + gemm::packed_a_floats(c_restored, c_reduced));
+}
+
 void fused_conv_act_conv(const Tensor& x, const Tensor& w1, const Tensor& b1, const Tensor& w2,
                          const Tensor& b2, ir::ActKind act, bool has_pool, ir::PoolKind pool_kind,
                          std::int64_t pool_k, std::int64_t pool_s, Tensor& out, float* scratch,
-                         std::int64_t scratch_slot_floats, std::size_t scratch_slots) {
+                         std::int64_t scratch_slot_floats, std::size_t scratch_slots,
+                         const float* prepacked) {
   const std::int64_t n_batch = x.shape()[0];
   const std::int64_t c_reduced = x.shape()[1];   // C2: input reduced channels
   const std::int64_t h_in = x.shape()[2];
@@ -55,10 +77,27 @@ void fused_conv_act_conv(const Tensor& x, const Tensor& w1, const Tensor& b1, co
   TEMCO_CHECK(w1.shape()[1] == c_reduced && w2.shape()[1] == c_restored)
       << "fused kernel weight shapes inconsistent";
 
-  const float* px = x.data();
+  // Rows narrower than one register tile take inline broadcast loops below:
+  // at that size the GEMM call setup costs more than the arithmetic, and
+  // dense-block stages hit thousands of such rows per inference.  Dispatch
+  // depends only on geometry, so determinism across thread counts holds.
+  const bool lconv_gemm = w_in >= gemm::kNR;
+  const bool fconv_gemm = w_out >= gemm::kNR;
+
+  std::vector<float> local;
+  if (prepacked == nullptr && (lconv_gemm || fconv_gemm)) {
+    local.resize(static_cast<std::size_t>(fused_prepack_floats(w1, w2, w_in, w_out)));
+    fused_prepack(w1, w2, local.data());
+    prepacked = local.data();
+  }
+  const float* pw1p = prepacked;
+  const float* pw2p =
+      prepacked == nullptr ? nullptr : prepacked + gemm::packed_a_floats(c_restored, c_reduced);
+
   const float* pw1 = w1.data();
-  const float* pb1 = b1.data();
   const float* pw2 = w2.data();
+  const float* px = x.data();
+  const float* pb1 = b1.data();
   const float* pb2 = b2.data();
   float* po = out.data();
 
@@ -69,6 +108,14 @@ void fused_conv_act_conv(const Tensor& x, const Tensor& w1, const Tensor& b1, co
   // rows it processes.  Row results do not depend on how rows are grouped
   // into workers, so both scratch modes below are bitwise-identical.
   auto process_rows = [&](std::size_t begin, std::size_t end, float* restored, float* pooled) {
+        gemm::GemmOptions lconv_options;
+        lconv_options.bias = pb1;
+        lconv_options.init = gemm::Init::kRowBias;
+        lconv_options.parallel = false;
+        gemm::GemmOptions fconv_options;
+        fconv_options.bias = pb2;
+        fconv_options.init = gemm::Init::kRowBias;
+        fconv_options.parallel = false;
         for (std::size_t task = begin; task < end; ++task) {
           const std::int64_t n = static_cast<std::int64_t>(task) / h_out;
           const std::int64_t oh = static_cast<std::int64_t>(task) % h_out;
@@ -88,19 +135,22 @@ void fused_conv_act_conv(const Tensor& x, const Tensor& w1, const Tensor& b1, co
           for (std::int64_t r = 0; r < rows; ++r) {
             const std::int64_t ih = has_pool ? oh * pool_s + r : oh;
             // --- lconv: restore one spatial row to C′ channels -------------
-            for (std::int64_t cp = 0; cp < c_restored; ++cp) {
-              float* rrow = row_target + cp * w_in;
-              const float bias = pb1[cp];
-              for (std::int64_t iw = 0; iw < w_in; ++iw) rrow[iw] = bias;
-            }
-            for (std::int64_t c2 = 0; c2 < c_reduced; ++c2) {
-              const float* xrow = xbase + (c2 * h_in + ih) * w_in;
-              const float* wcol = pw1 + c2;  // w1 is [C', C2] row-major
+            // C[cp, iw] = b1[cp] + Σ_c2 w1[cp,c2] · x[c2, ih, iw]; B is the
+            // input's row ih across channels (row stride h_in·w_in).
+            if (lconv_gemm) {
+              gemm::gemm_packed(pw1p, c_restored, c_reduced, xbase + ih * w_in, h_in * w_in, w_in,
+                                row_target, w_in, lconv_options);
+            } else {
+              const float* xrow0 = xbase + ih * w_in;
               for (std::int64_t cp = 0; cp < c_restored; ++cp) {
-                const float coef = wcol[cp * c_reduced];
-                if (coef == 0.0f) continue;
-                float* rrow = row_target + cp * w_in;
-                for (std::int64_t iw = 0; iw < w_in; ++iw) rrow[iw] += coef * xrow[iw];
+                float* row = row_target + cp * w_in;
+                const float* wrow = pw1 + cp * c_reduced;
+                for (std::int64_t i = 0; i < w_in; ++i) row[i] = pb1[cp];
+                for (std::int64_t c2 = 0; c2 < c_reduced; ++c2) {
+                  const float av = wrow[c2];
+                  const float* xr = xrow0 + c2 * h_in * w_in;
+                  for (std::int64_t i = 0; i < w_in; ++i) row[i] += av * xr[i];
+                }
               }
             }
             // --- activation -------------------------------------------------
@@ -129,24 +179,33 @@ void fused_conv_act_conv(const Tensor& x, const Tensor& w1, const Tensor& b1, co
             }
           }
 
-          const float* fconv_in = has_pool ? pooled : restored;
+          float* fconv_in = has_pool ? pooled : restored;
           // Clipping only happens when the input is smaller than the window
           // (then the single window covers min(k, extent)), so the average
-          // divisor is uniform across the row.
-          const float avg_scale =
-              has_pool && pool_kind == ir::PoolKind::kAvg
-                  ? 1.0f / static_cast<float>(rows * std::min(pool_k, w_in))
-                  : 1.0f;
+          // divisor is uniform across the row: scale the pooled sums once
+          // instead of folding the divisor into every fconv coefficient.
+          if (has_pool && pool_kind == ir::PoolKind::kAvg) {
+            const float avg_scale = 1.0f / static_cast<float>(rows * std::min(pool_k, w_in));
+            for (std::int64_t i = 0; i < pooled_floats; ++i) fconv_in[i] *= avg_scale;
+          }
           // --- fconv: reduce the (pooled) restored row to C3 channels -------
-          for (std::int64_t c3 = 0; c3 < c_out; ++c3) {
-            float* orow = po + ((n * c_out + c3) * h_out + oh) * w_out;
-            const float* wrow = pw2 + c3 * c_restored;
-            for (std::int64_t ow = 0; ow < w_out; ++ow) orow[ow] = pb2[c3];
-            for (std::int64_t cp = 0; cp < c_restored; ++cp) {
-              const float coef = wrow[cp] * avg_scale;
-              if (coef == 0.0f) continue;
-              const float* frow = fconv_in + cp * w_out;
-              for (std::int64_t ow = 0; ow < w_out; ++ow) orow[ow] += coef * frow[ow];
+          // C[c3, ow] = b2[c3] + Σ_cp w2[c3,cp] · fconv_in[cp, ow], written
+          // straight into output row oh of every map (row stride h_out·w_out).
+          if (fconv_gemm) {
+            gemm::gemm_packed(pw2p, c_out, c_restored, fconv_in, w_out, w_out,
+                              po + n * c_out * h_out * w_out + oh * w_out, h_out * w_out,
+                              fconv_options);
+          } else {
+            float* obase = po + n * c_out * h_out * w_out + oh * w_out;
+            for (std::int64_t c3 = 0; c3 < c_out; ++c3) {
+              float* orow = obase + c3 * h_out * w_out;
+              const float* wrow = pw2 + c3 * c_restored;
+              for (std::int64_t i = 0; i < w_out; ++i) orow[i] = pb2[c3];
+              for (std::int64_t cp = 0; cp < c_restored; ++cp) {
+                const float av = wrow[cp];
+                const float* in = fconv_in + cp * w_out;
+                for (std::int64_t i = 0; i < w_out; ++i) orow[i] += av * in[i];
+              }
             }
           }
         }

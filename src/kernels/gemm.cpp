@@ -1,0 +1,231 @@
+// GEMM micro-kernel engine implementation.  See gemm.hpp for the blocking
+// shape and the determinism contract.
+#include "kernels/gemm.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "parallel/parallel_for.hpp"
+#include "support/check.hpp"
+
+namespace temco::kernels::gemm {
+
+std::int64_t packed_a_floats(std::int64_t m, std::int64_t k) {
+  return (m + kMR - 1) / kMR * kMR * k;
+}
+
+void pack_a(const float* a, std::int64_t row_stride, std::int64_t col_stride, std::int64_t m,
+            std::int64_t k, float* packed) {
+  const std::int64_t panels = (m + kMR - 1) / kMR;
+  for (std::int64_t p = 0; p < panels; ++p) {
+    float* dst = packed + p * kMR * k;
+    const std::int64_t i0 = p * kMR;
+    const std::int64_t rows = std::min(kMR, m - i0);
+    for (std::int64_t kk = 0; kk < k; ++kk) {
+      for (std::int64_t r = 0; r < rows; ++r) {
+        dst[kk * kMR + r] = a[(i0 + r) * row_stride + kk * col_stride];
+      }
+      for (std::int64_t r = rows; r < kMR; ++r) dst[kk * kMR + r] = 0.0f;
+    }
+  }
+}
+
+namespace {
+
+/// One register tile: C[mr,nr] += A-slice · B-slice over kb k-steps.  The
+/// accumulator lives in registers for the whole k loop and is flushed to C
+/// once, so C traffic is independent of k.  `Packed` selects the A stream:
+/// k-major panel (a[kk*kMR + r]) or row-major in place (a[r*lda + kk]).
+template <bool Packed>
+inline void tile(const float* a, std::int64_t lda, const float* b, std::int64_t ldb,
+                 std::int64_t kb, std::int64_t mr, std::int64_t nr, float* c, std::int64_t ldc) {
+  float acc[kMR][kNR];
+  if (mr == kMR && nr == kNR) {
+    // Full-tile fast path: constant trip counts, vectorized over the columns.
+    for (std::int64_t r = 0; r < kMR; ++r) {
+#pragma omp simd
+      for (std::int64_t j = 0; j < kNR; ++j) acc[r][j] = 0.0f;
+    }
+    for (std::int64_t kk = 0; kk < kb; ++kk) {
+      const float* brow = b + kk * ldb;
+      for (std::int64_t r = 0; r < kMR; ++r) {
+        const float av = Packed ? a[kk * kMR + r] : a[r * lda + kk];
+#pragma omp simd
+        for (std::int64_t j = 0; j < kNR; ++j) acc[r][j] += av * brow[j];
+      }
+    }
+    for (std::int64_t r = 0; r < kMR; ++r) {
+      float* crow = c + r * ldc;
+#pragma omp simd
+      for (std::int64_t j = 0; j < kNR; ++j) crow[j] += acc[r][j];
+    }
+  } else {
+    // Ragged tail: same ascending-k accumulation, bounded trip counts.  Only
+    // the live mr×nr corner of the accumulator is touched — skinny tiles
+    // (n < kNR) are common on small feature maps and the dead-lane zeroing
+    // and flushing would otherwise dominate their cost.
+    for (std::int64_t r = 0; r < mr; ++r) {
+      for (std::int64_t j = 0; j < nr; ++j) acc[r][j] = 0.0f;
+    }
+    for (std::int64_t kk = 0; kk < kb; ++kk) {
+      const float* brow = b + kk * ldb;
+      for (std::int64_t r = 0; r < mr; ++r) {
+        const float av = Packed ? a[kk * kMR + r] : a[r * lda + kk];
+        for (std::int64_t j = 0; j < nr; ++j) acc[r][j] += av * brow[j];
+      }
+    }
+    for (std::int64_t r = 0; r < mr; ++r) {
+      float* crow = c + r * ldc;
+      for (std::int64_t j = 0; j < nr; ++j) crow[j] += acc[r][j];
+    }
+  }
+}
+
+/// One task of the block grid: rows [i0, i0+mb) × columns [j0, j0+nb) of one
+/// batch item.  Initializes its C sub-block, then accumulates kKC strips in
+/// order; within a strip the kNR-wide B segment stays L1-resident across the
+/// row tiles.  i0 is always a multiple of kMR (kMC is), so the packed-A
+/// panel index below is exact.
+template <bool Packed>
+void run_block(const float* a, std::int64_t lda, std::int64_t k, const float* b, std::int64_t ldb,
+               float* c, std::int64_t ldc, const float* bias, Init init, std::int64_t i0,
+               std::int64_t mb, std::int64_t j0, std::int64_t nb) {
+  if (nb < kNR) {
+    // Skinny block: fewer columns than one register tile.  Per-pixel matmuls
+    // on small feature maps (late dense-block stages, 1×1..7×7 images) land
+    // here, and the acc-zero/flush detour of the full tile would double their
+    // cost.  Keep the kMR-row panels (B rows are reused across the panel) but
+    // seed the accumulator from the init value and store it straight back.
+    // Accumulation is still k-ascending per element and the dispatch depends
+    // only on geometry, so determinism across thread counts is unaffected.
+    for (std::int64_t ir = 0; ir < mb; ir += kMR) {
+      const std::int64_t mr = std::min(kMR, mb - ir);
+      float acc[kMR][kNR];
+      for (std::int64_t r = 0; r < mr; ++r) {
+        const std::int64_t i = i0 + ir + r;
+        float* crow = c + i * ldc + j0;
+        switch (init) {
+          case Init::kNone:
+            for (std::int64_t j = 0; j < nb; ++j) acc[r][j] = crow[j];
+            break;
+          case Init::kZero:
+            for (std::int64_t j = 0; j < nb; ++j) acc[r][j] = 0.0f;
+            break;
+          case Init::kRowBias:
+            for (std::int64_t j = 0; j < nb; ++j) acc[r][j] = bias[i];
+            break;
+          case Init::kColBias:
+            for (std::int64_t j = 0; j < nb; ++j) acc[r][j] = bias[j0 + j];
+            break;
+        }
+      }
+      const float* apanel = Packed ? a + (i0 + ir) / kMR * (kMR * k) : nullptr;
+      for (std::int64_t kk = 0; kk < k; ++kk) {
+        const float* brow = b + kk * ldb + j0;
+        for (std::int64_t r = 0; r < mr; ++r) {
+          const float av = Packed ? apanel[kk * kMR + r] : a[(i0 + ir + r) * lda + kk];
+          for (std::int64_t j = 0; j < nb; ++j) acc[r][j] += av * brow[j];
+        }
+      }
+      for (std::int64_t r = 0; r < mr; ++r) {
+        float* crow = c + (i0 + ir + r) * ldc + j0;
+        for (std::int64_t j = 0; j < nb; ++j) crow[j] = acc[r][j];
+      }
+    }
+    return;
+  }
+  switch (init) {
+    case Init::kNone:
+      break;
+    case Init::kZero:
+      for (std::int64_t i = i0; i < i0 + mb; ++i) {
+        std::fill(c + i * ldc + j0, c + i * ldc + j0 + nb, 0.0f);
+      }
+      break;
+    case Init::kRowBias:
+      for (std::int64_t i = i0; i < i0 + mb; ++i) {
+        std::fill(c + i * ldc + j0, c + i * ldc + j0 + nb, bias[i]);
+      }
+      break;
+    case Init::kColBias:
+      for (std::int64_t i = i0; i < i0 + mb; ++i) {
+        float* crow = c + i * ldc + j0;
+        for (std::int64_t j = 0; j < nb; ++j) crow[j] = bias[j0 + j];
+      }
+      break;
+  }
+  for (std::int64_t k0 = 0; k0 < k; k0 += kKC) {
+    const std::int64_t kb = std::min(kKC, k - k0);
+    for (std::int64_t jr = 0; jr < nb; jr += kNR) {
+      const std::int64_t nr = std::min(kNR, nb - jr);
+      for (std::int64_t ir = 0; ir < mb; ir += kMR) {
+        const std::int64_t mr = std::min(kMR, mb - ir);
+        const float* atile = Packed ? a + (i0 + ir) / kMR * (kMR * k) + k0 * kMR
+                                    : a + (i0 + ir) * lda + k0;
+        tile<Packed>(atile, lda, b + k0 * ldb + j0 + jr, ldb, kb, mr, nr,
+                     c + (i0 + ir) * ldc + j0 + jr, ldc);
+      }
+    }
+  }
+}
+
+template <bool Packed>
+void gemm_impl(const float* a, std::int64_t lda, std::int64_t m, std::int64_t k, const float* b,
+               std::int64_t ldb, std::int64_t n, float* c, std::int64_t ldc,
+               const GemmOptions& options) {
+  TEMCO_CHECK(m >= 0 && n >= 0 && k >= 0 && options.batch >= 0) << "gemm: negative extent";
+  TEMCO_CHECK(options.init == Init::kZero || options.init == Init::kNone ||
+              options.bias != nullptr)
+      << "gemm: bias init requested without a bias vector";
+  if (m == 0 || n == 0 || options.batch == 0) return;
+
+  // Fixed task grid: batch × row blocks × column blocks.  The grid depends
+  // only on geometry, so results are identical for any thread count.
+  const std::int64_t row_blocks = (m + kMC - 1) / kMC;
+  const std::int64_t col_blocks = (n + kNC - 1) / kNC;
+  const std::int64_t tasks = options.batch * row_blocks * col_blocks;
+  if (tasks == 1) {
+    // Single-block problems (one batch item, m ≤ kMC, n ≤ kNC) skip the task
+    // grid entirely.  This is the hot shape for per-row convolution GEMMs,
+    // where the div/mod index decode and loop plumbing below would cost as
+    // much as the arithmetic.  The fault-injection hook still fires exactly
+    // as parallel_for's serial path would, and the dispatch depends only on
+    // geometry, so determinism across thread counts is unaffected.
+    detail::maybe_inject_task_fault(0);
+    run_block<Packed>(a, lda, k, b, ldb, c, ldc, options.bias, options.init, 0, m, 0, n);
+    return;
+  }
+  const auto body = [&](std::size_t task) {
+    const std::int64_t t = static_cast<std::int64_t>(task);
+    const std::int64_t bi = t / (row_blocks * col_blocks);
+    const std::int64_t ib = t % (row_blocks * col_blocks) / col_blocks;
+    const std::int64_t jb = t % col_blocks;
+    const std::int64_t i0 = ib * kMC;
+    const std::int64_t j0 = jb * kNC;
+    run_block<Packed>(a, lda, k, b + bi * options.b_batch_stride, ldb,
+                      c + bi * options.c_batch_stride, ldc, options.bias, options.init, i0,
+                      std::min(kMC, m - i0), j0, std::min(kNC, n - j0));
+  };
+  // Serial mode raises the grain above the task count instead of bypassing
+  // parallel_for, so fault-injection hooks fire on either path.
+  ParallelOptions parallel_options;
+  parallel_options.grain = options.parallel ? 1 : std::numeric_limits<std::size_t>::max();
+  parallel_options.pool = options.pool;
+  parallel_for(static_cast<std::size_t>(tasks), body, parallel_options);
+}
+
+}  // namespace
+
+void gemm_packed(const float* packed_a, std::int64_t m, std::int64_t k, const float* b,
+                 std::int64_t ldb, std::int64_t n, float* c, std::int64_t ldc,
+                 const GemmOptions& options) {
+  gemm_impl<true>(packed_a, 0, m, k, b, ldb, n, c, ldc, options);
+}
+
+void gemm_direct(const float* a, std::int64_t lda, std::int64_t m, std::int64_t k, const float* b,
+                 std::int64_t ldb, std::int64_t n, float* c, std::int64_t ldc,
+                 const GemmOptions& options) {
+  gemm_impl<false>(a, lda, m, k, b, ldb, n, c, ldc, options);
+}
+
+}  // namespace temco::kernels::gemm

@@ -19,8 +19,25 @@ namespace temco::kernels {
 
 /// Dense 2-D convolution.  x: [N,C,H,W], w: [Cout,C,Kh,Kw], b: [Cout],
 /// out: [N,Cout,Hout,Wout] with symmetric zero padding.
+///
+/// `prepacked`, when non-null, is the weight relayout produced by
+/// conv2d_prepack — the executor builds it once at plan time so steady-state
+/// inference never re-packs.  When null the kernel packs into a local buffer
+/// (standalone callers); both forms are bit-identical.
 void conv2d(const Tensor& x, const Tensor& w, const Tensor& b, std::int64_t stride_h,
-            std::int64_t stride_w, std::int64_t pad_h, std::int64_t pad_w, Tensor& out);
+            std::int64_t stride_w, std::int64_t pad_h, std::int64_t pad_w, Tensor& out,
+            const float* prepacked = nullptr);
+
+/// Floats of prepack storage conv2d wants for weight w at the given strides
+/// and output width.  Zero means the geometry has no packed form: strided
+/// convs read w in place, and dense stride-1 taps on outputs narrower than a
+/// register tile dispatch to the tiled loop instead of shifted GEMMs.
+std::int64_t conv2d_prepack_floats(const Tensor& w, std::int64_t stride_h, std::int64_t stride_w,
+                                   std::int64_t w_out);
+
+/// Packs w into `out` (conv2d_prepack_floats(w, ...) floats, stride-1 only):
+/// one GEMM panel set per kernel tap, taps in (r,s) order.
+void conv2d_prepack(const Tensor& w, std::int64_t stride_h, std::int64_t stride_w, float* out);
 
 /// Depthwise convolution.  w: [C,1,Kh,Kw].
 void depthwise_conv2d(const Tensor& x, const Tensor& w, const Tensor& b, std::int64_t stride_h,
@@ -65,11 +82,21 @@ void softmax(const Tensor& x, Tensor& out);
 /// instead passes a preplanned region of `scratch_slots` slots, each
 /// `scratch_slot_floats` floats, and the kernel runs without touching the
 /// heap; the two modes produce bitwise-identical outputs.
+///
+/// `prepacked`, when non-null, holds both weights packed by fused_prepack
+/// (w1 panels followed by w2 panels); null packs locally.
 void fused_conv_act_conv(const Tensor& x, const Tensor& w1, const Tensor& b1, const Tensor& w2,
                          const Tensor& b2, ir::ActKind act, bool has_pool, ir::PoolKind pool_kind,
                          std::int64_t pool_k, std::int64_t pool_s, Tensor& out,
                          float* scratch = nullptr, std::int64_t scratch_slot_floats = 0,
-                         std::size_t scratch_slots = 0);
+                         std::size_t scratch_slots = 0, const float* prepacked = nullptr);
+
+/// Floats of prepack storage the fused kernel wants for its two weights.
+std::int64_t fused_prepack_floats(const Tensor& w1, const Tensor& w2, std::int64_t w_in,
+                                  std::int64_t w_out);
+
+/// Packs w1 then w2 into `out` (fused_prepack_floats(w1, w2, ...) floats).
+void fused_prepack(const Tensor& w1, const Tensor& w2, float* out);
 
 /// Scratch bytes the fused kernel needs per worker thread (reported to the
 /// memory planner so the Fig. 10 accounting stays honest).

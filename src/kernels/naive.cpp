@@ -1,0 +1,114 @@
+#include "kernels/naive.hpp"
+
+#include <algorithm>
+
+namespace temco::kernels::naive {
+
+void conv1x1(const Tensor& x, const Tensor& w, const Tensor& b, Tensor& out) {
+  const std::int64_t n_batch = x.shape()[0];
+  const std::int64_t c_in = x.shape()[1];
+  const std::int64_t hw = x.shape()[2] * x.shape()[3];
+  const std::int64_t c_out = w.shape()[0];
+  const float* px = x.data();
+  const float* pw = w.data();
+  const float* pb = b.data();
+  float* po = out.data();
+
+  for (std::int64_t n = 0; n < n_batch; ++n) {
+    for (std::int64_t co = 0; co < c_out; ++co) {
+      float* orow = po + (n * c_out + co) * hw;
+      const float bias = pb[co];
+      for (std::int64_t i = 0; i < hw; ++i) orow[i] = bias;
+      const float* wrow = pw + co * c_in;
+      const float* xbase = px + n * c_in * hw;
+      for (std::int64_t ci = 0; ci < c_in; ++ci) {
+        const float coef = wrow[ci];
+        if (coef == 0.0f) continue;
+        const float* xrow = xbase + ci * hw;
+        for (std::int64_t i = 0; i < hw; ++i) orow[i] += coef * xrow[i];
+      }
+    }
+  }
+}
+
+void conv2d(const Tensor& x, const Tensor& w, const Tensor& b, std::int64_t stride_h,
+            std::int64_t stride_w, std::int64_t pad_h, std::int64_t pad_w, Tensor& out) {
+  const std::int64_t kh = w.shape()[2];
+  const std::int64_t kw = w.shape()[3];
+  if (kh == 1 && kw == 1 && stride_h == 1 && stride_w == 1 && pad_h == 0 && pad_w == 0) {
+    conv1x1(x, w, b, out);
+    return;
+  }
+  const std::int64_t n_batch = x.shape()[0];
+  const std::int64_t c_in = x.shape()[1];
+  const std::int64_t h_in = x.shape()[2];
+  const std::int64_t w_in = x.shape()[3];
+  const std::int64_t c_out = out.shape()[1];
+  const std::int64_t h_out = out.shape()[2];
+  const std::int64_t w_out = out.shape()[3];
+  const float* px = x.data();
+  const float* pw = w.data();
+  const float* pb = b.data();
+  float* po = out.data();
+
+  for (std::int64_t n = 0; n < n_batch; ++n) {
+    for (std::int64_t co = 0; co < c_out; ++co) {
+      float* omap = po + (n * c_out + co) * h_out * w_out;
+      const float bias = pb[co];
+      for (std::int64_t i = 0; i < h_out * w_out; ++i) omap[i] = bias;
+      const float* xbase = px + n * c_in * h_in * w_in;
+      const float* wbase = pw + co * c_in * kh * kw;
+      for (std::int64_t ci = 0; ci < c_in; ++ci) {
+        const float* xmap = xbase + ci * h_in * w_in;
+        const float* wmap = wbase + ci * kh * kw;
+        for (std::int64_t r = 0; r < kh; ++r) {
+          for (std::int64_t s = 0; s < kw; ++s) {
+            const float coef = wmap[r * kw + s];
+            if (coef == 0.0f) continue;
+            for (std::int64_t oh = 0; oh < h_out; ++oh) {
+              const std::int64_t ih = oh * stride_h - pad_h + r;
+              if (ih < 0 || ih >= h_in) continue;
+              float* orow = omap + oh * w_out;
+              const float* xrow = xmap + ih * w_in;
+              const std::int64_t base = s - pad_w;
+              std::int64_t ow_lo = 0;
+              if (base < 0) ow_lo = (-base + stride_w - 1) / stride_w;
+              std::int64_t ow_hi = w_out;
+              if (base + (w_out - 1) * stride_w >= w_in) {
+                ow_hi = (w_in - base + stride_w - 1) / stride_w;
+              }
+              for (std::int64_t ow = ow_lo; ow < ow_hi; ++ow) {
+                orow[ow] += coef * xrow[ow * stride_w + base];
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+Tensor matmul(const Tensor& a, const Tensor& b) {
+  TEMCO_CHECK(a.shape().rank() == 2 && b.shape().rank() == 2);
+  const std::int64_t m = a.shape()[0];
+  const std::int64_t k = a.shape()[1];
+  const std::int64_t n = b.shape()[1];
+  TEMCO_CHECK(b.shape()[0] == k) << "matmul " << a.shape() << " x " << b.shape();
+  Tensor c = Tensor::zeros(Shape{m, n});
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* pc = c.data();
+  for (std::int64_t i = 0; i < m; ++i) {
+    float* crow = pc + i * n;
+    const float* arow = pa + i * k;
+    for (std::int64_t kk = 0; kk < k; ++kk) {
+      const float av = arow[kk];
+      if (av == 0.0f) continue;
+      const float* brow = pb + kk * n;
+      for (std::int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+  return c;
+}
+
+}  // namespace temco::kernels::naive

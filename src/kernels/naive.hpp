@@ -1,0 +1,24 @@
+// Pre-GEMM kernels, retained verbatim (serialized) as differential baselines.
+//
+// These are the coefficient-broadcast loops the GEMM engine replaced.  Tests
+// diff the production kernels against them on degenerate and tail shapes, and
+// bench/kernels_micro measures the engine's single-thread speedup against
+// them.  They are intentionally single-threaded: a fixed, obvious
+// accumulation order with no tiling decisions to get wrong.
+#pragma once
+
+#include "tensor/tensor.hpp"
+
+namespace temco::kernels::naive {
+
+/// 1×1 stride-1 convolution, one output row streamed per (co, ci) pair.
+void conv1x1(const Tensor& x, const Tensor& w, const Tensor& b, Tensor& out);
+
+/// Direct dense convolution, one output map streamed per (co, ci, r, s).
+void conv2d(const Tensor& x, const Tensor& w, const Tensor& b, std::int64_t stride_h,
+            std::int64_t stride_w, std::int64_t pad_h, std::int64_t pad_w, Tensor& out);
+
+/// i-k-j matrix multiply: C[m,n] = A[m,k] · B[k,n].
+Tensor matmul(const Tensor& a, const Tensor& b);
+
+}  // namespace temco::kernels::naive

@@ -1,7 +1,9 @@
 #include "linalg/matmul.hpp"
 
 #include <cmath>
+#include <vector>
 
+#include "kernels/gemm.hpp"
 #include "parallel/parallel_for.hpp"
 
 namespace temco::linalg {
@@ -14,26 +16,14 @@ Tensor matmul(const Tensor& a, const Tensor& b) {
   TEMCO_CHECK(b.shape()[0] == k) << "matmul " << a.shape() << " x " << b.shape();
 
   Tensor c = Tensor::zeros(Shape{m, n});
-  const float* pa = a.data();
-  const float* pb = b.data();
-  float* pc = c.data();
-
-  // i-k-j order: the inner loop streams a row of B and a row of C.
-  ParallelOptions options;
-  options.grain = static_cast<std::size_t>(std::max<std::int64_t>(1, 16384 / std::max<std::int64_t>(1, k * n)));
-  parallel_for(
-      static_cast<std::size_t>(m),
-      [&](std::size_t i) {
-        float* crow = pc + static_cast<std::int64_t>(i) * n;
-        const float* arow = pa + static_cast<std::int64_t>(i) * k;
-        for (std::int64_t kk = 0; kk < k; ++kk) {
-          const float av = arow[kk];
-          if (av == 0.0f) continue;
-          const float* brow = pb + kk * n;
-          for (std::int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
-        }
-      },
-      options);
+  // Decomposition-time matmuls run once per factorization, so packing A per
+  // call (a heap buffer — this is not an inference path) is a clear win: the
+  // register-tiled micro-kernel is the same one the inference kernels use.
+  std::vector<float> packed(static_cast<std::size_t>(kernels::gemm::packed_a_floats(m, k)));
+  kernels::gemm::pack_a(a.data(), k, 1, m, k, packed.data());
+  kernels::gemm::GemmOptions options;
+  options.init = kernels::gemm::Init::kZero;
+  kernels::gemm::gemm_packed(packed.data(), m, k, b.data(), n, n, c.data(), n, options);
   return c;
 }
 

@@ -36,9 +36,10 @@ struct FusedScratch {
 
 /// Dispatches one node onto the kernel library.  `in` holds one tensor per
 /// node input, in order; both execution paths share this function so they
-/// cannot diverge behaviorally.
+/// cannot diverge behaviorally.  `prepacked` is the node's plan-time weight
+/// packing (nullptr when the node has none).
 void run_node(const ir::Node& node, const std::vector<const Tensor*>& in, Tensor& out,
-              const FusedScratch& scratch) {
+              const FusedScratch& scratch, const float* prepacked) {
   using ir::OpKind;
   switch (node.kind) {
     case OpKind::kInput:
@@ -46,7 +47,7 @@ void run_node(const ir::Node& node, const std::vector<const Tensor*>& in, Tensor
       break;
     case OpKind::kConv2d:
       kernels::conv2d(*in[0], node.weights[0], node.weights[1], node.attrs.stride_h,
-                      node.attrs.stride_w, node.attrs.pad_h, node.attrs.pad_w, out);
+                      node.attrs.stride_w, node.attrs.pad_h, node.attrs.pad_w, out, prepacked);
       break;
     case OpKind::kDepthwiseConv2d:
       kernels::depthwise_conv2d(*in[0], node.weights[0], node.weights[1], node.attrs.stride_h,
@@ -87,7 +88,8 @@ void run_node(const ir::Node& node, const std::vector<const Tensor*>& in, Tensor
       kernels::fused_conv_act_conv(*in[0], node.weights[0], node.weights[1], node.weights[2],
                                    node.weights[3], node.attrs.act, node.attrs.fused_has_pool,
                                    node.attrs.pool_kind, node.attrs.pool_kh, node.attrs.pool_sh,
-                                   out, scratch.base, scratch.slot_floats, scratch.slots);
+                                   out, scratch.base, scratch.slot_floats, scratch.slots,
+                                   prepacked);
       break;
   }
   // Fault injection: poison one output element the way a buggy kernel would,
@@ -118,7 +120,33 @@ Executor::Executor(const ir::Graph& graph, ExecutorOptions options)
     // able to own a lane for its whole duration.
     inter_pool_ = std::make_unique<ThreadPool>(lanes_);
   }
+  build_prepack();
   if (options_.use_arena) bind_arena();
+}
+
+void Executor::build_prepack() {
+  prepacked_.resize(graph_.size());
+  for (const ir::Node& node : graph_.nodes()) {
+    std::int64_t floats = 0;
+    if (node.kind == ir::OpKind::kConv2d) {
+      floats = kernels::conv2d_prepack_floats(node.weights[0], node.attrs.stride_h,
+                                              node.attrs.stride_w, node.out_shape[3]);
+    } else if (node.kind == ir::OpKind::kFusedConvActConv) {
+      floats = kernels::fused_prepack_floats(node.weights[0], node.weights[2],
+                                             graph_.node(node.inputs[0]).out_shape[3],
+                                             node.out_shape[3]);
+    }
+    if (floats == 0) continue;
+    auto& blob = prepacked_[static_cast<std::size_t>(node.id)];
+    blob.resize(static_cast<std::size_t>(floats));
+    if (node.kind == ir::OpKind::kConv2d) {
+      kernels::conv2d_prepack(node.weights[0], node.attrs.stride_h, node.attrs.stride_w,
+                              blob.data());
+    } else {
+      kernels::fused_prepack(node.weights[0], node.weights[2], blob.data());
+    }
+    packed_weight_bytes_ += floats * static_cast<std::int64_t>(sizeof(float));
+  }
 }
 
 void Executor::bind_arena() {
@@ -282,7 +310,8 @@ ExecutionResult Executor::run_reference(const std::vector<Tensor>& inputs) {
         args.push_back(&t);
       }
       Tensor out(node.out_shape, allocator.allocate(node.out_shape.numel()));
-      run_node(node, args, out, FusedScratch{});
+      run_node(node, args, out, FusedScratch{},
+               prepacked_[slot].empty() ? nullptr : prepacked_[slot].data());
       check_node_output(node, out);
       values[slot] = std::move(out);
     }
@@ -298,6 +327,7 @@ ExecutionResult Executor::run_reference(const std::vector<Tensor>& inputs) {
   result.wall_seconds = timer.elapsed_seconds();
   result.peak_internal_bytes = allocator.peak_bytes();
   result.weight_bytes = graph_.total_weight_bytes();
+  result.packed_weight_bytes = packed_weight_bytes_;
   result.heap_allocations = allocator.total_allocations();
   // Clone outputs into plain-heap storage: the tracked buffers' deleters
   // reference the stack-local allocator and must not outlive this frame.
@@ -327,7 +357,8 @@ ExecutionResult Executor::run_arena(const std::vector<Tensor>& inputs) {
       std::copy(inputs[pos].span().begin(), inputs[pos].span().end(),
                 bound_[slot].span().begin());
     } else {
-      run_node(node, args_[slot], bound_[slot], scratch);
+      run_node(node, args_[slot], bound_[slot], scratch,
+               prepacked_[slot].empty() ? nullptr : prepacked_[slot].data());
       check_node_output(node, bound_[slot]);
     }
     if (canaries && fp_oob_write.fire()) {
@@ -345,6 +376,7 @@ ExecutionResult Executor::run_arena(const std::vector<Tensor>& inputs) {
   result.wall_seconds = timer.elapsed_seconds();
   result.peak_internal_bytes = planned_peak_;
   result.weight_bytes = graph_.total_weight_bytes();
+  result.packed_weight_bytes = packed_weight_bytes_;
   result.arena_bytes = plan_.arena_bytes;
   result.heap_allocations = 0;
   result.timeline = planned_timeline_;
@@ -409,7 +441,8 @@ ExecutionResult Executor::run_wavefront(const std::vector<Tensor>& inputs) {
       Tensor& dest = arena ? bound_[slot] : values[slot];
       std::copy(inputs[pos].span().begin(), inputs[pos].span().end(), dest.span().begin());
     } else if (arena) {
-      run_node(node, args_[slot], bound_[slot], scratch);
+      run_node(node, args_[slot], bound_[slot], scratch,
+               prepacked_[slot].empty() ? nullptr : prepacked_[slot].data());
       check_node_output(node, bound_[slot]);
     } else {
       std::vector<const Tensor*> args;
@@ -419,7 +452,8 @@ ExecutionResult Executor::run_wavefront(const std::vector<Tensor>& inputs) {
         TEMCO_CHECK(t.defined()) << node.name << ": input " << i << " was freed too early";
         args.push_back(&t);
       }
-      run_node(node, args, values[slot], scratch);
+      run_node(node, args, values[slot], scratch,
+               prepacked_[slot].empty() ? nullptr : prepacked_[slot].data());
       check_node_output(node, values[slot]);
     }
     if (canaries && fp_oob_write.fire()) {
@@ -494,6 +528,7 @@ ExecutionResult Executor::run_wavefront(const std::vector<Tensor>& inputs) {
 
   result.wall_seconds = timer.elapsed_seconds();
   result.weight_bytes = graph_.total_weight_bytes();
+  result.packed_weight_bytes = packed_weight_bytes_;
   if (arena) {
     result.peak_internal_bytes = planned_peak_;
     result.arena_bytes = plan_.arena_bytes;
