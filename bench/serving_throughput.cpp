@@ -1,0 +1,326 @@
+// Serving throughput: compile-once artifacts + arena session pool + dynamic
+// micro-batching versus naive per-request Executor construction.
+//
+// Three modes, closed-loop clients, same optimized batch-1 graph:
+//   naive          every request builds a fresh Executor (prepack + arena
+//                  planning paid per request) and runs batch 1
+//   pool           Server with max_batch 1 — reuses compiled artifacts and
+//                  pooled arena sessions, no coalescing
+//   pool+batching  Server with the model's full micro-batch ceiling
+//
+// Reported per model/mode: requests/s, p50/p99 request latency, and resident
+// arena bytes (pool modes: the session slabs that stay allocated; naive: the
+// transient per-request arena times the client count).  Outputs are checked
+// bit-for-bit across all three modes before timing — speed never buys a
+// different answer.
+//
+// Flags (shared defaults with bench/common.hpp where they overlap):
+//   --models a,b --width F --image N --ratio F --requests N --clients N --json
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <cstring>
+#include <future>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/common.hpp"
+#include "serve/compiled_model.hpp"
+#include "serve/server.hpp"
+#include "serve/session.hpp"
+#include "support/timer.hpp"
+#include "tensor/compare.hpp"
+
+using namespace temco;
+
+namespace {
+
+struct ServingConfig {
+  // Serving targets the high-QPS small-request regime: requests are cheap
+  // enough that per-request construction and dispatch overhead — the costs
+  // this subsystem amortizes — are a visible share of the request.
+  double width = 0.125;
+  std::int64_t image = 16;
+  double ratio = 0.1;
+  std::size_t requests = 300;
+  std::size_t clients = 4;
+  std::size_t repeats = 3;
+  bool json = false;
+  // Defaults favor deep many-node models: per-request planning/packing is
+  // the cost the compile-once artifact amortizes away.
+  std::vector<std::string> models{"resnet18", "resnet34", "densenet121", "densenet169"};
+};
+
+ServingConfig parse_serving_args(int argc, char** argv) {
+  ServingConfig config;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      TEMCO_CHECK(i + 1 < argc) << arg << " needs a value";
+      return argv[++i];
+    };
+    if (arg == "--width") {
+      config.width = std::stod(next());
+    } else if (arg == "--image") {
+      config.image = std::stoll(next());
+    } else if (arg == "--ratio") {
+      config.ratio = std::stod(next());
+    } else if (arg == "--requests") {
+      config.requests = static_cast<std::size_t>(std::stoull(next()));
+    } else if (arg == "--clients") {
+      config.clients = static_cast<std::size_t>(std::stoull(next()));
+    } else if (arg == "--repeats") {
+      config.repeats = static_cast<std::size_t>(std::stoull(next()));
+    } else if (arg == "--json") {
+      config.json = true;
+    } else if (arg == "--models") {
+      config.models.clear();
+      std::string list = next();
+      std::size_t pos = 0;
+      while (pos != std::string::npos) {
+        const std::size_t comma = list.find(',', pos);
+        config.models.push_back(list.substr(pos, comma - pos));
+        pos = comma == std::string::npos ? comma : comma + 1;
+      }
+    } else {
+      std::fprintf(stderr, "unknown flag %s\n", arg.c_str());
+      std::exit(2);
+    }
+  }
+  return config;
+}
+
+struct ModeResult {
+  std::string mode;
+  double wall_seconds = 0.0;
+  double requests_per_second = 0.0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  std::size_t resident_arena_bytes = 0;
+  std::uint64_t batches = 0;
+  std::uint64_t max_batch_seen = 0;
+};
+
+struct ModelReport {
+  std::string model;
+  std::vector<ModeResult> modes;
+};
+
+double percentile(std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  const double rank = p * static_cast<double>(sorted.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+ModeResult finish(std::string mode, double wall, std::vector<double> latencies,
+                  std::size_t requests, std::size_t resident_bytes) {
+  std::sort(latencies.begin(), latencies.end());
+  ModeResult result;
+  result.mode = std::move(mode);
+  result.wall_seconds = wall;
+  result.requests_per_second = static_cast<double>(requests) / wall;
+  result.p50_ms = percentile(latencies, 0.50) * 1e3;
+  result.p99_ms = percentile(latencies, 0.99) * 1e3;
+  result.resident_arena_bytes = resident_bytes;
+  return result;
+}
+
+/// Closed loop: `clients` threads each pull the next request index, issue it,
+/// and wait for the answer before issuing another.
+template <typename Issue>
+std::vector<double> closed_loop(std::size_t requests, std::size_t clients, Issue issue) {
+  std::atomic<std::size_t> next{0};
+  std::vector<std::vector<double>> per_client(clients);
+  std::vector<std::thread> threads;
+  threads.reserve(clients);
+  for (std::size_t c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      per_client[c].reserve(requests / clients + 1);
+      for (;;) {
+        const std::size_t index = next.fetch_add(1);
+        if (index >= requests) return;
+        Timer timer;
+        issue(index);
+        per_client[c].push_back(timer.elapsed_seconds());
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  std::vector<double> latencies;
+  for (auto& local : per_client) {
+    latencies.insert(latencies.end(), local.begin(), local.end());
+  }
+  return latencies;
+}
+
+ModeResult run_naive(const ir::Graph& optimized_b1, const Tensor& input,
+                     const ServingConfig& config) {
+  Timer wall;
+  auto latencies = closed_loop(config.requests, config.clients, [&](std::size_t) {
+    // The whole point of the baseline: prepack + arena planning + slab
+    // allocation are all paid inside the request.
+    runtime::Executor executor(optimized_b1, {.use_arena = true});
+    executor.run({input});
+  });
+  // Nothing survives between requests, but while a request is in flight each
+  // client holds one arena slab.
+  const auto plan = runtime::plan_arena(optimized_b1, {});
+  const std::size_t transient =
+      static_cast<std::size_t>(plan.arena_bytes) * config.clients;
+  return finish("naive", wall.elapsed_seconds(), std::move(latencies), config.requests,
+                transient);
+}
+
+ModeResult run_server(const std::shared_ptr<const serve::CompiledModel>& model,
+                      const Tensor& input, const ServingConfig& config,
+                      std::size_t max_batch, const std::string& label) {
+  serve::ServerOptions options;
+  options.workers = 2;
+  options.sessions = 2;
+  options.max_batch = max_batch;
+  options.queue_capacity = config.requests + config.clients;
+  // Self-clocking batching: coalesce whatever is already queued, never idle
+  // waiting for stragglers.  While a batch executes, closed-loop clients
+  // refill the queue, so batches ramp to the ceiling on their own.
+  options.batch_timeout = std::chrono::microseconds(0);
+  serve::Server server(model, options);
+
+  Timer wall;
+  auto latencies = closed_loop(config.requests, config.clients, [&](std::size_t) {
+    server.submit({input}).get();
+  });
+  const double elapsed = wall.elapsed_seconds();
+  const auto stats = server.stats();
+  ModeResult result = finish(label, elapsed, std::move(latencies), config.requests,
+                             server.session_pool().resident_bytes());
+  result.batches = stats.batches;
+  result.max_batch_seen = stats.max_batch_seen;
+  return result;
+}
+
+/// All three modes must produce the same bytes for the same request.
+void check_bit_identical(const ir::Graph& optimized_b1,
+                         const std::shared_ptr<const serve::CompiledModel>& model,
+                         const Tensor& input) {
+  runtime::Executor naive(optimized_b1, {.use_arena = true});
+  const auto want = naive.run({input}).outputs;
+
+  serve::ServerOptions options;
+  options.workers = 1;
+  options.sessions = 1;
+  serve::Server server(model, options);
+  const auto got = server.submit({input}).get();
+  TEMCO_CHECK(got.size() == want.size()) << "serving output arity diverged";
+  for (std::size_t o = 0; o < got.size(); ++o) {
+    TEMCO_CHECK(max_abs_diff(got[o], want[o]) == 0.0f)
+        << "serving output " << o << " is not bit-identical to the naive executor";
+  }
+}
+
+void write_json(const std::vector<ModelReport>& reports, const ServingConfig& config) {
+  std::FILE* f = std::fopen("BENCH_serving.json", "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write BENCH_serving.json\n");
+    return;
+  }
+  std::fprintf(f,
+               "{\n  \"bench\": \"serving_throughput\",\n  \"requests\": %zu,\n"
+               "  \"clients\": %zu,\n  \"rows\": [\n",
+               config.requests, config.clients);
+  bool first = true;
+  for (const ModelReport& report : reports) {
+    for (const ModeResult& mode : report.modes) {
+      std::fprintf(f,
+                   "%s    {\"model\": \"%s\", \"mode\": \"%s\", \"requests_per_second\": "
+                   "%.2f, \"p50_ms\": %.3f, \"p99_ms\": %.3f, \"resident_arena_bytes\": "
+                   "%zu, \"batches\": %llu, \"max_batch_seen\": %llu}",
+                   first ? "" : ",\n", report.model.c_str(), mode.mode.c_str(),
+                   mode.requests_per_second, mode.p50_ms, mode.p99_ms,
+                   mode.resident_arena_bytes,
+                   static_cast<unsigned long long>(mode.batches),
+                   static_cast<unsigned long long>(mode.max_batch_seen));
+      first = false;
+    }
+  }
+  std::fprintf(f, "\n  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote BENCH_serving.json (%zu models x 3 modes)\n", reports.size());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const ServingConfig config = parse_serving_args(argc, argv);
+  std::printf("=== Serving throughput: naive vs session pool vs micro-batching ===\n");
+  std::printf("(width %.3g, image %lld, Tucker ratio %.2g, %zu requests, %zu clients)\n\n",
+              config.width, static_cast<long long>(config.image), config.ratio,
+              config.requests, config.clients);
+  std::printf("%-12s %-14s %10s %9s %9s %12s %8s\n", "model", "mode", "req/s", "p50",
+              "p99", "arena", "speedup");
+
+  std::vector<ModelReport> reports;
+  std::vector<double> speedups;
+  for (const std::string& name : config.models) {
+    const auto& spec = models::find_model(name);
+    temco::bench::BenchConfig graph_config;
+    graph_config.width = config.width;
+    graph_config.image = config.image;
+    graph_config.batch = 1;
+    graph_config.ratio = config.ratio;
+    const auto original = spec.build(temco::bench::model_config(graph_config, spec));
+    const auto decomposed = temco::bench::decomposed_baseline(original, graph_config);
+
+    serve::CompileOptions compile_options;
+    compile_options.max_batch = 8;
+    const auto model = serve::CompiledModel::compile(decomposed, compile_options);
+    // The naive baseline runs the *same* optimized batch-1 graph the server
+    // compiled, so the comparison isolates serving mechanics.
+    const ir::Graph& optimized_b1 = model->graph(1);
+    const Tensor input = temco::bench::random_input(optimized_b1, 1234);
+
+    check_bit_identical(optimized_b1, model, input);
+
+    // Best-of-N repeats per mode: on a shared/throttled host a single pass
+    // can eat a multi-millisecond scheduler stall; the best pass is the
+    // mode's actual sustainable rate.
+    auto best_of = [&](auto&& measure) {
+      ModeResult best;
+      for (std::size_t r = 0; r < std::max<std::size_t>(config.repeats, 1); ++r) {
+        ModeResult attempt = measure();
+        if (attempt.requests_per_second > best.requests_per_second) best = std::move(attempt);
+      }
+      return best;
+    };
+
+    ModelReport report;
+    report.model = name;
+    report.modes.push_back(best_of([&] { return run_naive(optimized_b1, input, config); }));
+    report.modes.push_back(
+        best_of([&] { return run_server(model, input, config, 1, "pool"); }));
+    // Closed-loop clients bound the attainable batch: cap the coalescing
+    // ceiling at the client count so full batches dispatch immediately
+    // instead of idling out the straggler window every time.
+    const std::size_t batch_ceiling = std::min(model->max_batch(), config.clients);
+    report.modes.push_back(best_of(
+        [&] { return run_server(model, input, config, batch_ceiling, "pool+batching"); }));
+
+    const double naive_rps = report.modes[0].requests_per_second;
+    for (const ModeResult& mode : report.modes) {
+      std::printf("%-12s %-14s %10.1f %7.2fms %7.2fms %10.1fKiB %7.2fx\n", name.c_str(),
+                  mode.mode.c_str(), mode.requests_per_second, mode.p50_ms, mode.p99_ms,
+                  static_cast<double>(mode.resident_arena_bytes) / 1024.0,
+                  mode.requests_per_second / naive_rps);
+    }
+    speedups.push_back(report.modes[2].requests_per_second / naive_rps);
+    reports.push_back(std::move(report));
+  }
+
+  std::printf("\ngeomean pool+batching speedup over naive: %.2fx (target: >= 2x)\n",
+              temco::bench::geomean(speedups));
+  if (config.json) write_json(reports, config);
+  return 0;
+}

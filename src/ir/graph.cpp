@@ -243,6 +243,20 @@ void Graph::infer_shapes() {
   for (Node& node : nodes_) node.out_shape = infer_node_shape(node);
 }
 
+Graph rebatched(const Graph& graph, std::int64_t batch) {
+  TEMCO_CHECK_AS(batch >= 1, ShapeError) << "batch dimension must be >= 1, got " << batch;
+  Graph copy = graph;
+  for (std::size_t i = 0; i < copy.size(); ++i) {
+    Node& node = copy.node(static_cast<ValueId>(i));
+    if (node.kind != OpKind::kInput) continue;
+    TEMCO_CHECK_AS(node.out_shape.rank() >= 1, ShapeError)
+        << node.name << ": cannot rebatch a rank-0 input";
+    node.out_shape = node.out_shape.with_dim(0, batch);
+  }
+  copy.infer_shapes();
+  return copy;
+}
+
 void Graph::verify() const {
   TEMCO_CHECK_AS(!outputs_.empty(), InvalidGraphError) << "graph has no outputs";
   std::unordered_set<ValueId> seen;

@@ -129,4 +129,11 @@ class Graph {
   std::vector<ValueId> outputs_;
 };
 
+/// Returns a copy of `graph` whose input nodes carry `batch` in dimension 0,
+/// with every downstream shape re-inferred.  Weight tensors are shared
+/// handles, so a variant costs activation metadata only — the serving
+/// runtime (src/serve) stamps one execution variant per batch size out of a
+/// single compiled template this way.
+Graph rebatched(const Graph& graph, std::int64_t batch);
+
 }  // namespace temco::ir

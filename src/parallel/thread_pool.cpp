@@ -70,13 +70,21 @@ ThreadPool::ThreadPool(std::size_t num_threads) {
   }
 }
 
-ThreadPool::~ThreadPool() {
+ThreadPool::~ThreadPool() { shutdown(); }
+
+void ThreadPool::shutdown() {
   {
     std::lock_guard<std::mutex> lock(mutex_);
+    if (shutdown_ && workers_.empty()) return;  // already retired
     shutdown_ = true;
   }
+  // Workers can be parked on either condition variable (waiting for a batch
+  // on wake_, or for batch retirement on done_); both predicates test
+  // shutdown_, so notify both.
   wake_.notify_all();
+  done_.notify_all();
   for (auto& worker : workers_) worker.join();
+  workers_.clear();  // concurrency() == 1 from here on; run() goes inline
 }
 
 void ThreadPool::work_on(Batch& batch) {
@@ -139,6 +147,20 @@ void ThreadPool::run(std::size_t num_tasks, const std::function<void(std::size_t
     // (a parallel_for inside a task of an outer batch) take this path too —
     // the outer batch owns the workers, so the nested batch runs inline on
     // the current thread, with identical results.
+    for (std::size_t i = 0; i < num_tasks; ++i) {
+      maybe_inject_task_fault(i);
+      task(i);
+    }
+    return;
+  }
+
+  // One batch owns the workers at a time.  A second thread calling run()
+  // concurrently (e.g. two serving sessions whose kernels share the global
+  // pool) must not touch the fork-join state mid-batch; rather than queue
+  // behind the owner it runs its batch inline — work decomposition never
+  // changes results, so this only trades parallelism, not correctness.
+  std::unique_lock<std::mutex> owner(owner_mutex_, std::try_to_lock);
+  if (!owner.owns_lock()) {
     for (std::size_t i = 0; i < num_tasks; ++i) {
       maybe_inject_task_fault(i);
       task(i);

@@ -50,7 +50,20 @@ class ThreadPool {
   /// indices across the workers and the calling thread.  Blocks until all
   /// invocations complete.  Exceptions thrown by tasks are rethrown on the
   /// caller (the first one observed).
+  ///
+  /// Safe to call from multiple threads: the fork-join machinery handles one
+  /// batch at a time, so a caller that finds the pool already owned by
+  /// another thread's batch runs its tasks inline, serially, on itself.
+  /// Results are identical either way — see the nesting note above.
   void run(std::size_t num_tasks, const std::function<void(std::size_t)>& task);
+
+  /// Drains and joins the workers.  Idempotent (the destructor calls it);
+  /// after shutdown, `run` executes every batch inline on the caller, so a
+  /// pool can be retired early — e.g. when a server stops its long-running
+  /// worker loops — without invalidating later (now serial) use.  Must not
+  /// be called concurrently with `run` on another thread: make the loops
+  /// running on the pool exit first, then shut down.
+  void shutdown();
 
   /// Process-wide shared pool, sized to the hardware.
   static ThreadPool& global();
@@ -72,6 +85,7 @@ class ThreadPool {
   void work_on(Batch& batch);
 
   std::vector<std::thread> workers_;
+  std::mutex owner_mutex_;  // held by the thread whose batch owns the workers
   std::mutex mutex_;
   std::condition_variable wake_;
   std::condition_variable done_;

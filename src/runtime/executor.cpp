@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <cmath>
+#include <cstdint>
 #include <cstdlib>
 #include <cstring>
 #include <limits>
@@ -21,10 +22,9 @@ failpoints::Site fp_poison_nan{"kernels.poison_nan"};
 failpoints::Site fp_slab_oom{"executor.slab_oom"};
 failpoints::Site fp_oob_write{"executor.oob_write"};
 
-/// Byte written into arena guard bands and poison fills.  Four of them form
-/// 0xFFFFFFFF, a quiet NaN, so a poisoned float read is detectable by
-/// check_numerics — and no finite kernel result ever matches the pattern.
-constexpr unsigned char kCanaryByte = 0xFF;
+/// Byte written into arena guard bands and poison fills (see
+/// kArenaPoisonByte in the header for why 0xFF).
+constexpr unsigned char kCanaryByte = kArenaPoisonByte;
 
 /// Per-worker scratch handed to fused kernels; zeroed on the reference path
 /// (kernels then allocate their own row buffers, the measured §2.2 regime).
@@ -101,7 +101,37 @@ void run_node(const ir::Node& node, const std::vector<const Tensor*>& in, Tensor
 
 }  // namespace
 
+PackedWeights PackedWeights::build(const ir::Graph& graph) {
+  PackedWeights packed;
+  packed.blobs.resize(graph.size());
+  for (const ir::Node& node : graph.nodes()) {
+    std::int64_t floats = 0;
+    if (node.kind == ir::OpKind::kConv2d) {
+      floats = kernels::conv2d_prepack_floats(node.weights[0], node.attrs.stride_h,
+                                              node.attrs.stride_w, node.out_shape[3]);
+    } else if (node.kind == ir::OpKind::kFusedConvActConv) {
+      floats = kernels::fused_prepack_floats(node.weights[0], node.weights[2],
+                                             graph.node(node.inputs[0]).out_shape[3],
+                                             node.out_shape[3]);
+    }
+    if (floats == 0) continue;
+    auto& blob = packed.blobs[static_cast<std::size_t>(node.id)];
+    blob.resize(static_cast<std::size_t>(floats));
+    if (node.kind == ir::OpKind::kConv2d) {
+      kernels::conv2d_prepack(node.weights[0], node.attrs.stride_h, node.attrs.stride_w,
+                              blob.data());
+    } else {
+      kernels::fused_prepack(node.weights[0], node.weights[2], blob.data());
+    }
+    packed.bytes += floats * static_cast<std::int64_t>(sizeof(float));
+  }
+  return packed;
+}
+
 Executor::Executor(const ir::Graph& graph, ExecutorOptions options)
+    : Executor(graph, options, ExecutorBinding{}) {}
+
+Executor::Executor(const ir::Graph& graph, ExecutorOptions options, const ExecutorBinding& binding)
     : graph_(graph), options_(options) {
   graph_.verify();
   liveness_ = compute_liveness(graph_);
@@ -111,6 +141,9 @@ Executor::Executor(const ir::Graph& graph, ExecutorOptions options)
   }
   lanes_ = options_.parallelism != 0 ? options_.parallelism : ThreadPool::global().concurrency();
   if (lanes_ > 1) {
+    TEMCO_CHECK_AS(binding.plan == nullptr, InvalidGraphError)
+        << "a shared arena plan carries sequential liveness; it cannot be bound "
+           "to a wavefront executor (parallelism must be 1)";
     WavefrontOptions wave_options;
     wave_options.memory_slack = options_.wavefront_memory_slack;
     waves_ = partition_wavefronts(graph_, wave_options);
@@ -120,66 +153,82 @@ Executor::Executor(const ir::Graph& graph, ExecutorOptions options)
     // able to own a lane for its whole duration.
     inter_pool_ = std::make_unique<ThreadPool>(lanes_);
   }
-  build_prepack();
-  if (options_.use_arena) bind_arena();
-}
-
-void Executor::build_prepack() {
-  prepacked_.resize(graph_.size());
-  for (const ir::Node& node : graph_.nodes()) {
-    std::int64_t floats = 0;
-    if (node.kind == ir::OpKind::kConv2d) {
-      floats = kernels::conv2d_prepack_floats(node.weights[0], node.attrs.stride_h,
-                                              node.attrs.stride_w, node.out_shape[3]);
-    } else if (node.kind == ir::OpKind::kFusedConvActConv) {
-      floats = kernels::fused_prepack_floats(node.weights[0], node.weights[2],
-                                             graph_.node(node.inputs[0]).out_shape[3],
-                                             node.out_shape[3]);
-    }
-    if (floats == 0) continue;
-    auto& blob = prepacked_[static_cast<std::size_t>(node.id)];
-    blob.resize(static_cast<std::size_t>(floats));
-    if (node.kind == ir::OpKind::kConv2d) {
-      kernels::conv2d_prepack(node.weights[0], node.attrs.stride_h, node.attrs.stride_w,
-                              blob.data());
-    } else {
-      kernels::fused_prepack(node.weights[0], node.weights[2], blob.data());
-    }
-    packed_weight_bytes_ += floats * static_cast<std::int64_t>(sizeof(float));
-  }
-}
-
-void Executor::bind_arena() {
-  ArenaOptions arena_options;
-  if (options_.arena_canaries) arena_options.canary_bytes = kTensorAlignment;
-  if (lanes_ > 1) {
-    // Concurrency-aware packing: slot sharing only across disjoint waves.
-    arena_options.wavefronts = &waves_;
-    // Scratch must cover the worst of both execution shapes: a solo wave's
-    // fused node striping rows across the global pool, or every inter-op
-    // lane running its own fused node on a private single slot.
-    arena_options.scratch_slots = std::max(lanes_, ThreadPool::global().concurrency());
-  }
-  plan_ = plan_arena(graph_, arena_options);
-  validate_arena_plan(graph_, plan_);
-
-  // One aligned slab for the life of the executor.  aligned_alloc requires a
-  // size that is a multiple of the alignment; arena_bytes already is.
-  float* raw = fp_slab_oom.fire()
-                   ? nullptr
-                   : static_cast<float*>(std::aligned_alloc(
-                         static_cast<std::size_t>(kTensorAlignment),
-                         static_cast<std::size_t>(plan_.arena_bytes)));
-  TEMCO_CHECK_AS(raw != nullptr, ResourceExhaustedError)
-      << "arena allocation of " << plan_.arena_bytes << " bytes failed";
-  if (options_.arena_canaries) {
-    // Poison fill: a slot read before it was ever written yields NaNs that
-    // check_numerics can catch, and every guard band starts intact.
-    std::memset(raw, kCanaryByte, static_cast<std::size_t>(plan_.arena_bytes));
+  if (binding.prepack != nullptr) {
+    TEMCO_CHECK_AS(binding.prepack->blobs.size() == graph_.size(), InvalidGraphError)
+        << "bound PackedWeights was built for a graph of " << binding.prepack->blobs.size()
+        << " nodes, this graph has " << graph_.size();
+    prepack_ = binding.prepack;
   } else {
-    std::memset(raw, 0, static_cast<std::size_t>(plan_.arena_bytes));
+    own_prepack_ = PackedWeights::build(graph_);
+    prepack_ = &own_prepack_;
   }
-  slab_ = Buffer(raw, [](float* p) { std::free(p); });
+  if (options_.use_arena) {
+    bind_arena(binding);
+  } else {
+    TEMCO_CHECK_AS(binding.plan == nullptr && binding.slab == nullptr, InvalidGraphError)
+        << "an arena binding requires ExecutorOptions::use_arena";
+  }
+}
+
+void Executor::bind_arena(const ExecutorBinding& binding) {
+  if (binding.plan != nullptr) {
+    // Adopt a shared, pre-validated plan instead of re-planning.  The caller
+    // vouches it was built for this exact graph; the cheap structural checks
+    // below catch the obvious mixups.
+    TEMCO_CHECK_AS(binding.plan->blocks.size() == graph_.size(), InvalidGraphError)
+        << "bound arena plan covers " << binding.plan->blocks.size() << " values, graph has "
+        << graph_.size();
+    TEMCO_CHECK_AS(!options_.arena_canaries || binding.plan->canary_bytes > 0, InvalidGraphError)
+        << "arena_canaries requested but the bound plan reserved no guard bands";
+    plan_ = *binding.plan;
+  } else {
+    ArenaOptions arena_options;
+    if (options_.arena_canaries) arena_options.canary_bytes = kTensorAlignment;
+    if (lanes_ > 1) {
+      // Concurrency-aware packing: slot sharing only across disjoint waves.
+      arena_options.wavefronts = &waves_;
+      // Scratch must cover the worst of both execution shapes: a solo wave's
+      // fused node striping rows across the global pool, or every inter-op
+      // lane running its own fused node on a private single slot.
+      arena_options.scratch_slots = std::max(lanes_, ThreadPool::global().concurrency());
+    }
+    plan_ = plan_arena(graph_, arena_options);
+    validate_arena_plan(graph_, plan_);
+  }
+
+  float* raw = nullptr;
+  if (binding.slab != nullptr) {
+    // Caller-owned slab (serving sessions share one across batch variants).
+    // The caller is responsible for its initial fill; canary bands are
+    // rewritten as each value comes alive, so a poison or zero fill is fine.
+    TEMCO_CHECK_AS(reinterpret_cast<std::uintptr_t>(binding.slab) %
+                           static_cast<std::uintptr_t>(kTensorAlignment) ==
+                       0,
+                   InvalidGraphError)
+        << "bound slab is not " << kTensorAlignment << "-byte aligned";
+    TEMCO_CHECK_AS(binding.slab_bytes >= plan_.arena_bytes, ResourceExhaustedError)
+        << "bound slab of " << binding.slab_bytes << " bytes is smaller than the plan's "
+        << plan_.arena_bytes;
+    raw = binding.slab;
+    slab_ = Buffer(raw, [](float*) {});  // non-owning: the caller frees it
+  } else {
+    // One aligned slab for the life of the executor.  aligned_alloc requires
+    // a size that is a multiple of the alignment; arena_bytes already is.
+    raw = fp_slab_oom.fire() ? nullptr
+                             : static_cast<float*>(std::aligned_alloc(
+                                   static_cast<std::size_t>(kTensorAlignment),
+                                   static_cast<std::size_t>(plan_.arena_bytes)));
+    TEMCO_CHECK_AS(raw != nullptr, ResourceExhaustedError)
+        << "arena allocation of " << plan_.arena_bytes << " bytes failed";
+    if (options_.arena_canaries) {
+      // Poison fill: a slot read before it was ever written yields NaNs that
+      // check_numerics can catch, and every guard band starts intact.
+      std::memset(raw, kCanaryByte, static_cast<std::size_t>(plan_.arena_bytes));
+    } else {
+      std::memset(raw, 0, static_cast<std::size_t>(plan_.arena_bytes));
+    }
+    slab_ = Buffer(raw, [](float* p) { std::free(p); });
+  }
 
   // Bind every value to its slab offset once; run() never allocates tensors.
   bound_.resize(graph_.size());
@@ -278,17 +327,80 @@ void Executor::check_canary(ir::ValueId id, const ir::Node& at) const {
   }
 }
 
-ExecutionResult Executor::run(const std::vector<Tensor>& inputs) {
-  check_inputs(inputs);
-  if (lanes_ > 1) return run_wavefront(inputs);
-  return options_.use_arena ? run_arena(inputs) : run_reference(inputs);
+void Executor::check_outputs(const std::vector<Tensor>& outputs) const {
+  const std::vector<ir::ValueId>& outs = graph_.outputs();
+  TEMCO_CHECK_AS(outputs.size() == outs.size(), InvalidGraphError)
+      << "expected " << outs.size() << " output tensor(s) (one per graph output), got "
+      << outputs.size();
+  for (std::size_t i = 0; i < outputs.size(); ++i) {
+    const ir::Node& node = graph_.node(outs[i]);
+    TEMCO_CHECK_AS(outputs[i].defined(), InvalidGraphError)
+        << node.name << ": output tensor " << i << " is undefined (no storage)";
+    TEMCO_CHECK_AS(outputs[i].shape() == node.out_shape, ShapeError)
+        << node.name << ": output shape " << outputs[i].shape() << " != declared "
+        << node.out_shape;
+  }
+  // Aliasing rules.  Two destination tensors sharing bytes would make the
+  // result order-dependent; a destination inside the arena slab would be
+  // clobbered mid-run.  Output-aliases-*input* is deliberately allowed:
+  // inputs are consumed (copied into internal storage) before any output
+  // byte is written.
+  auto overlaps = [](const float* a_lo, const float* a_hi, const float* b_lo,
+                     const float* b_hi) { return a_lo < b_hi && b_lo < a_hi; };
+  for (std::size_t i = 0; i < outputs.size(); ++i) {
+    const float* i_lo = outputs[i].data();
+    const float* i_hi = i_lo + outputs[i].numel();
+    for (std::size_t j = i + 1; j < outputs.size(); ++j) {
+      const float* j_lo = outputs[j].data();
+      TEMCO_CHECK_AS(!overlaps(i_lo, i_hi, j_lo, j_lo + outputs[j].numel()), InvalidGraphError)
+          << "output tensors " << i << " and " << j << " alias each other";
+    }
+    if (options_.use_arena && slab_ != nullptr) {
+      const float* s_lo = slab_.get();
+      const float* s_hi = s_lo + plan_.arena_bytes / static_cast<std::int64_t>(sizeof(float));
+      TEMCO_CHECK_AS(!overlaps(i_lo, i_hi, s_lo, s_hi), InvalidGraphError)
+          << "output tensor " << i << " aliases the arena slab";
+    }
+  }
 }
 
-ExecutionResult Executor::run_reference(const std::vector<Tensor>& inputs) {
+ExecutionResult Executor::run(const std::vector<Tensor>& inputs) {
+  // Fresh heap destinations each run: callers may keep results across runs.
+  std::vector<Tensor> outputs;
+  outputs.reserve(graph_.outputs().size());
+  for (const ir::ValueId out : graph_.outputs()) {
+    outputs.emplace_back(Tensor::zeros(graph_.node(out).out_shape));
+  }
+  ExecutionResult result = run_into(inputs, outputs);
+  result.outputs = std::move(outputs);
+  return result;
+}
+
+ExecutionResult Executor::run_into(const std::vector<Tensor>& inputs,
+                                   std::vector<Tensor>& outputs) {
+  check_inputs(inputs);
+  check_outputs(outputs);
+  ExecutionResult result;
+  run_dispatch(inputs, outputs, result);
+  return result;
+}
+
+void Executor::run_dispatch(const std::vector<Tensor>& inputs, std::vector<Tensor>& outputs,
+                            ExecutionResult& result) {
+  if (lanes_ > 1) {
+    run_wavefront(inputs, outputs, result);
+  } else if (options_.use_arena) {
+    run_arena(inputs, outputs, result);
+  } else {
+    run_reference(inputs, outputs, result);
+  }
+}
+
+void Executor::run_reference(const std::vector<Tensor>& inputs, std::vector<Tensor>& outputs,
+                             ExecutionResult& result) {
   TrackingAllocator allocator;
   std::vector<Tensor> values(graph_.size());
   std::vector<const Tensor*> args;
-  ExecutionResult result;
   result.timeline.reserve(graph_.size());
   Timer timer;
 
@@ -310,8 +422,7 @@ ExecutionResult Executor::run_reference(const std::vector<Tensor>& inputs) {
         args.push_back(&t);
       }
       Tensor out(node.out_shape, allocator.allocate(node.out_shape.numel()));
-      run_node(node, args, out, FusedScratch{},
-               prepacked_[slot].empty() ? nullptr : prepacked_[slot].data());
+      run_node(node, args, out, FusedScratch{}, prepack_->blob(node.id));
       check_node_output(node, out);
       values[slot] = std::move(out);
     }
@@ -327,22 +438,23 @@ ExecutionResult Executor::run_reference(const std::vector<Tensor>& inputs) {
   result.wall_seconds = timer.elapsed_seconds();
   result.peak_internal_bytes = allocator.peak_bytes();
   result.weight_bytes = graph_.total_weight_bytes();
-  result.packed_weight_bytes = packed_weight_bytes_;
+  result.packed_weight_bytes = prepack_->bytes;
   result.heap_allocations = allocator.total_allocations();
-  // Clone outputs into plain-heap storage: the tracked buffers' deleters
-  // reference the stack-local allocator and must not outlive this frame.
-  for (const ir::ValueId out : graph_.outputs()) {
-    result.outputs.push_back(values[static_cast<std::size_t>(out)].clone());
+  // Copy outputs into the caller's destinations: the tracked buffers'
+  // deleters reference the stack-local allocator and must not outlive this
+  // frame.
+  for (std::size_t i = 0; i < outputs.size(); ++i) {
+    const Tensor& src = values[static_cast<std::size_t>(graph_.outputs()[i])];
+    std::memcpy(outputs[i].data(), src.data(), static_cast<std::size_t>(src.bytes()));
   }
-  return result;
 }
 
-ExecutionResult Executor::run_arena(const std::vector<Tensor>& inputs) {
+void Executor::run_arena(const std::vector<Tensor>& inputs, std::vector<Tensor>& outputs,
+                         ExecutionResult& result) {
   const FusedScratch scratch{
       slab_.get() + plan_.scratch_offset / static_cast<std::int64_t>(sizeof(float)),
       plan_.scratch_slot_bytes / static_cast<std::int64_t>(sizeof(float)),
       plan_.scratch_slots};
-  ExecutionResult result;
   Timer timer;
 
   const bool canaries = options_.arena_canaries && plan_.canary_bytes > 0;
@@ -357,8 +469,7 @@ ExecutionResult Executor::run_arena(const std::vector<Tensor>& inputs) {
       std::copy(inputs[pos].span().begin(), inputs[pos].span().end(),
                 bound_[slot].span().begin());
     } else {
-      run_node(node, args_[slot], bound_[slot], scratch,
-               prepacked_[slot].empty() ? nullptr : prepacked_[slot].data());
+      run_node(node, args_[slot], bound_[slot], scratch, prepack_->blob(node.id));
       check_node_output(node, bound_[slot]);
     }
     if (canaries && fp_oob_write.fire()) {
@@ -376,18 +487,19 @@ ExecutionResult Executor::run_arena(const std::vector<Tensor>& inputs) {
   result.wall_seconds = timer.elapsed_seconds();
   result.peak_internal_bytes = planned_peak_;
   result.weight_bytes = graph_.total_weight_bytes();
-  result.packed_weight_bytes = packed_weight_bytes_;
+  result.packed_weight_bytes = prepack_->bytes;
   result.arena_bytes = plan_.arena_bytes;
   result.heap_allocations = 0;
   result.timeline = planned_timeline_;
-  // Outputs are cloned out of the slab (it is overwritten by the next run).
-  for (const ir::ValueId out : graph_.outputs()) {
-    result.outputs.push_back(bound_[static_cast<std::size_t>(out)].clone());
+  // Outputs are copied out of the slab (it is overwritten by the next run).
+  for (std::size_t i = 0; i < outputs.size(); ++i) {
+    const Tensor& src = bound_[static_cast<std::size_t>(graph_.outputs()[i])];
+    std::memcpy(outputs[i].data(), src.data(), static_cast<std::size_t>(src.bytes()));
   }
-  return result;
 }
 
-ExecutionResult Executor::run_wavefront(const std::vector<Tensor>& inputs) {
+void Executor::run_wavefront(const std::vector<Tensor>& inputs, std::vector<Tensor>& outputs,
+                             ExecutionResult& result) {
   const bool arena = options_.use_arena;
   const bool canaries = arena && options_.arena_canaries && plan_.canary_bytes > 0;
   const std::size_t n = graph_.size();
@@ -421,7 +533,6 @@ ExecutionResult Executor::run_wavefront(const std::vector<Tensor>& inputs) {
       arena ? plan_.scratch_slot_bytes / static_cast<std::int64_t>(sizeof(float)) : 0,
       arena ? plan_.scratch_slots : 0};
 
-  ExecutionResult result;
   result.timeline.reserve(n);
   Timer timer;
 
@@ -441,8 +552,7 @@ ExecutionResult Executor::run_wavefront(const std::vector<Tensor>& inputs) {
       Tensor& dest = arena ? bound_[slot] : values[slot];
       std::copy(inputs[pos].span().begin(), inputs[pos].span().end(), dest.span().begin());
     } else if (arena) {
-      run_node(node, args_[slot], bound_[slot], scratch,
-               prepacked_[slot].empty() ? nullptr : prepacked_[slot].data());
+      run_node(node, args_[slot], bound_[slot], scratch, prepack_->blob(id));
       check_node_output(node, bound_[slot]);
     } else {
       std::vector<const Tensor*> args;
@@ -452,8 +562,7 @@ ExecutionResult Executor::run_wavefront(const std::vector<Tensor>& inputs) {
         TEMCO_CHECK(t.defined()) << node.name << ": input " << i << " was freed too early";
         args.push_back(&t);
       }
-      run_node(node, args, values[slot], scratch,
-               prepacked_[slot].empty() ? nullptr : prepacked_[slot].data());
+      run_node(node, args, values[slot], scratch, prepack_->blob(id));
       check_node_output(node, values[slot]);
     }
     if (canaries && fp_oob_write.fire()) {
@@ -528,7 +637,7 @@ ExecutionResult Executor::run_wavefront(const std::vector<Tensor>& inputs) {
 
   result.wall_seconds = timer.elapsed_seconds();
   result.weight_bytes = graph_.total_weight_bytes();
-  result.packed_weight_bytes = packed_weight_bytes_;
+  result.packed_weight_bytes = prepack_->bytes;
   if (arena) {
     result.peak_internal_bytes = planned_peak_;
     result.arena_bytes = plan_.arena_bytes;
@@ -539,10 +648,10 @@ ExecutionResult Executor::run_wavefront(const std::vector<Tensor>& inputs) {
     result.heap_allocations = allocator.total_allocations();
   }
   const std::vector<Tensor>& storage = arena ? bound_ : values;
-  for (const ir::ValueId out : graph_.outputs()) {
-    result.outputs.push_back(storage[static_cast<std::size_t>(out)].clone());
+  for (std::size_t i = 0; i < outputs.size(); ++i) {
+    const Tensor& src = storage[static_cast<std::size_t>(graph_.outputs()[i])];
+    std::memcpy(outputs[i].data(), src.data(), static_cast<std::size_t>(src.bytes()));
   }
-  return result;
 }
 
 ExecutionResult execute(const ir::Graph& graph, const std::vector<Tensor>& inputs,

@@ -63,6 +63,52 @@ struct ExecutionResult {
   double wall_seconds = 0.0;
 };
 
+/// Plan-time GEMM weight packing for a graph: one blob per node that wants
+/// one (empty otherwise), indexed by ValueId.  Packing depends only on weight
+/// contents and output *width*, never on the batch dimension, so one build is
+/// valid for every batch variant of a graph (asserted in tests) — the serving
+/// runtime shares a single PackedWeights read-only across all sessions.
+struct PackedWeights {
+  std::vector<std::vector<float>> blobs;
+  std::int64_t bytes = 0;
+
+  static PackedWeights build(const ir::Graph& graph);
+
+  const float* blob(ir::ValueId id) const {
+    const auto& b = blobs[static_cast<std::size_t>(id)];
+    return b.empty() ? nullptr : b.data();
+  }
+};
+
+/// Byte used to poison-fill arena slabs and guard bands.  Four of them form a
+/// quiet NaN, so a read of a never-written slot is detectable by
+/// check_numerics and no finite kernel result ever matches the pattern.
+/// Exposed so external slab owners (serve::Session) can poison consistently.
+inline constexpr unsigned char kArenaPoisonByte = 0xFF;
+
+/// Immutable, shareable construction inputs for the serving path (src/serve).
+/// Many executors — across sessions and threads — reuse one packed-weight set
+/// and one pre-validated arena plan instead of re-deriving them, and bind to
+/// a caller-owned slab so N batch variants of a session share one allocation.
+/// Everything pointed to must outlive the executor and is never written.
+struct ExecutorBinding {
+  /// Prebuilt packing (PackedWeights::build); nullptr builds per-executor.
+  const PackedWeights* prepack = nullptr;
+
+  /// Pre-validated plan for this exact graph (plan_arena + validate_arena_plan
+  /// already ran); requires ExecutorOptions::use_arena and parallelism == 1
+  /// (a shared plan carries sequential liveness, not wavefront-widened).
+  /// nullptr plans per-executor.
+  const ArenaPlan* plan = nullptr;
+
+  /// Caller-owned slab the plan's offsets index into; required with `plan`.
+  /// Must hold `slab_bytes >= plan->arena_bytes`, aligned to
+  /// kTensorAlignment.  The executor neither initializes nor frees it —
+  /// poison-fill with kArenaPoisonByte (canaries) or zero it once at setup.
+  float* slab = nullptr;
+  std::int64_t slab_bytes = 0;
+};
+
 struct ExecutorOptions {
   /// Plan a static arena at construction and run every node out of one
   /// preallocated slab — zero per-node heap allocations on the steady-state
@@ -98,11 +144,25 @@ class Executor {
  public:
   explicit Executor(const ir::Graph& graph, ExecutorOptions options = {});
 
+  /// Serving-path construction: reuses the binding's shared immutable state
+  /// (see ExecutorBinding) instead of re-packing / re-planning / allocating.
+  Executor(const ir::Graph& graph, ExecutorOptions options, const ExecutorBinding& binding);
+
   /// Runs the graph on `inputs` (one tensor per kInput node, in definition
   /// order).  Reference mode keeps no state across runs.  Arena mode reuses
   /// the slab between runs, so concurrent run() calls on one arena executor
   /// are not allowed — build one executor per stream instead.
   ExecutionResult run(const std::vector<Tensor>& inputs);
+
+  /// Like run(), but writes each graph output into the caller-provided
+  /// tensor of `outputs` (one per graph output, in order, exact shapes)
+  /// instead of cloning onto the heap — the zero-allocation steady-state
+  /// entry point the serving runtime uses.  The returned result's `outputs`
+  /// vector stays empty.  Throws InvalidGraphError/ShapeError on count,
+  /// shape, undefined-tensor, or aliasing violations (two outputs sharing
+  /// bytes, or an output aliasing the arena slab); an output may alias an
+  /// *input* safely, because inputs are consumed before outputs are written.
+  ExecutionResult run_into(const std::vector<Tensor>& inputs, std::vector<Tensor>& outputs);
 
   /// The adopted packing; nullptr unless use_arena.
   const ArenaPlan* arena_plan() const { return options_.use_arena ? &plan_ : nullptr; }
@@ -111,15 +171,20 @@ class Executor {
   const WavefrontPartition* wavefronts() const { return lanes_ > 1 ? &waves_ : nullptr; }
 
  private:
-  void build_prepack();
-  void bind_arena();
+  void bind_arena(const ExecutorBinding& binding);
   void check_inputs(const std::vector<Tensor>& inputs) const;
+  void check_outputs(const std::vector<Tensor>& outputs) const;
   void check_node_output(const ir::Node& node, const Tensor& out) const;
   void write_canary(ir::ValueId id);
   void check_canary(ir::ValueId id, const ir::Node& at) const;
-  ExecutionResult run_reference(const std::vector<Tensor>& inputs);
-  ExecutionResult run_arena(const std::vector<Tensor>& inputs);
-  ExecutionResult run_wavefront(const std::vector<Tensor>& inputs);
+  void run_dispatch(const std::vector<Tensor>& inputs, std::vector<Tensor>& outputs,
+                    ExecutionResult& result);
+  void run_reference(const std::vector<Tensor>& inputs, std::vector<Tensor>& outputs,
+                     ExecutionResult& result);
+  void run_arena(const std::vector<Tensor>& inputs, std::vector<Tensor>& outputs,
+                 ExecutionResult& result);
+  void run_wavefront(const std::vector<Tensor>& inputs, std::vector<Tensor>& outputs,
+                     ExecutionResult& result);
 
   const ir::Graph& graph_;
   ExecutorOptions options_;
@@ -128,13 +193,13 @@ class Executor {
   std::vector<ir::ValueId> input_ids_;
 
   // ---- plan-time GEMM weight packing (all regimes) ------------------------
-  // One packed blob per node that wants one (empty otherwise), built once at
-  // construction so steady-state runs never re-pack.  Owned on the plain
-  // heap, deliberately outside the arena slab: packed weights are constant
+  // Built once at construction (or adopted read-only from an ExecutorBinding)
+  // so steady-state runs never re-pack.  Owned on the plain heap,
+  // deliberately outside the arena slab: packed weights are constant
   // weight-side state, not internal tensors, so they are invisible to the
   // arena plan, its canaries, and the zero-allocation guarantee alike.
-  std::vector<std::vector<float>> prepacked_;
-  std::int64_t packed_weight_bytes_ = 0;
+  PackedWeights own_prepack_;
+  const PackedWeights* prepack_ = nullptr;
 
   // ---- wavefront state (populated only when lanes_ > 1) -------------------
   std::size_t lanes_ = 1;

@@ -1,0 +1,81 @@
+#include "serve/compiled_model.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "support/align.hpp"
+
+namespace temco::serve {
+
+std::shared_ptr<const CompiledModel> CompiledModel::compile(const ir::Graph& graph,
+                                                            CompileOptions options) {
+  TEMCO_CHECK_AS(options.max_batch >= 1, InvalidGraphError)
+      << "max_batch must be >= 1, got " << options.max_batch;
+
+  auto model = std::shared_ptr<CompiledModel>(new CompiledModel());
+  model->options_ = options;
+
+  // Normalize to the batch-1 template, then run the pipeline once.  Every
+  // rewrite decision (skip thresholds, fusion legality, transform choices)
+  // is batch-independent, so optimizing at batch 1 and restamping is
+  // equivalent to optimizing each variant — minus max_batch-1 pipeline runs.
+  ir::Graph base = ir::rebatched(graph, 1);
+  if (options.optimize) {
+    base = core::optimize(base, options.temco, &model->stats_);
+  }
+  base.verify();
+
+  runtime::ArenaOptions arena_options;
+  arena_options.scratch_slots = 0;  // size for the global intra-op pool
+  if (options.arena_canaries) arena_options.canary_bytes = kTensorAlignment;
+
+  model->variants_.reserve(options.max_batch);
+  model->plans_.reserve(options.max_batch);
+  for (std::size_t k = 1; k <= options.max_batch; ++k) {
+    ir::Graph variant = k == 1 ? base : ir::rebatched(base, static_cast<std::int64_t>(k));
+    variant.verify();
+    runtime::ArenaPlan plan = runtime::plan_arena(variant, arena_options);
+    runtime::validate_arena_plan(variant, plan);
+    model->slab_bytes_ = std::max(model->slab_bytes_, plan.arena_bytes);
+    model->variants_.push_back(std::move(variant));
+    model->plans_.push_back(std::move(plan));
+  }
+
+  // One packing serves all variants: it depends on weight contents and
+  // output width only, and the variants share weight tensors by handle.
+  model->prepack_ = runtime::PackedWeights::build(model->variants_.front());
+  model->weight_bytes_ = model->variants_.front().total_weight_bytes();
+
+  const ir::Graph& b1 = model->variants_.front();
+  for (const ir::Node& node : b1.nodes()) {
+    if (node.kind == ir::OpKind::kInput) model->input_shapes_.push_back(node.out_shape);
+  }
+  for (const ir::ValueId out : b1.outputs()) {
+    model->output_shapes_.push_back(b1.node(out).out_shape);
+  }
+
+  return model;
+}
+
+bool CompiledModel::compatible(const std::vector<Tensor>& inputs) const {
+  if (inputs.size() != input_shapes_.size()) return false;
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    if (!inputs[i].defined() || !(inputs[i].shape() == input_shapes_[i])) return false;
+  }
+  return true;
+}
+
+void CompiledModel::check_compatible(const std::vector<Tensor>& inputs) const {
+  TEMCO_CHECK_AS(inputs.size() == input_shapes_.size(), InvalidGraphError)
+      << "request carries " << inputs.size() << " input tensor(s), model expects "
+      << input_shapes_.size();
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    TEMCO_CHECK_AS(inputs[i].defined(), InvalidGraphError)
+        << "request input " << i << " is undefined (no storage)";
+    TEMCO_CHECK_AS(inputs[i].shape() == input_shapes_[i], ShapeError)
+        << "request input " << i << " has shape " << inputs[i].shape()
+        << ", model expects the batch-1 template " << input_shapes_[i];
+  }
+}
+
+}  // namespace temco::serve

@@ -1,0 +1,114 @@
+// Compile-once serving artifact.
+//
+// A CompiledModel runs the whole TeMCO pipeline exactly once — decompose
+// upstream, then optimize (skip-opt, transforms, fusion, DCE), stamp one
+// execution variant per batch size, plan a static arena for each, and pack
+// GEMM weights — and freezes the result as an immutable artifact.  Serving
+// sessions (session.hpp) and the request server (server.hpp) share one
+// artifact read-only across any number of threads: nothing in it is ever
+// mutated after compile() returns, which is the whole thread-safety story.
+//
+// Batch variants: the model is compiled from a batch-1 template; variant k
+// (1 <= k <= max_batch) is the same optimized graph with every input's batch
+// dimension restamped to k (ir::rebatched).  Weights are shared handles, so
+// a variant costs activation metadata plus an arena plan — and GEMM weight
+// packing depends only on weights and output width, never the batch, so one
+// PackedWeights serves every variant.  All variants' plans index into a slab
+// of `slab_bytes()` (the max across variants), which is what lets one
+// session own a single allocation and serve any batch size with it.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/temco.hpp"
+#include "ir/graph.hpp"
+#include "runtime/arena.hpp"
+#include "runtime/executor.hpp"
+
+namespace temco::serve {
+
+struct CompileOptions {
+  /// Pipeline knobs forwarded to core::optimize.
+  core::TemcoOptions temco;
+
+  /// Run the TeMCO optimization pipeline.  Off compiles the graph as-is
+  /// (still planned, packed, and batch-stamped) — the "no compiler" baseline
+  /// the serving benchmark compares against.
+  bool optimize = true;
+
+  /// Largest batch any session of this model can execute — the ceiling the
+  /// server's micro-batcher coalesces up to.  One variant is stamped per
+  /// batch size in [1, max_batch].
+  std::size_t max_batch = 8;
+
+  /// Guardrails baked into every session executor (see ExecutorOptions).
+  bool check_numerics = false;
+  bool arena_canaries = false;
+};
+
+class CompiledModel {
+ public:
+  /// Compiles `graph` (a batch-agnostic template; any input batch dimension
+  /// is normalized to 1 first) into an immutable artifact.  Returned as
+  /// shared_ptr-to-const because sessions and servers co-own it and the
+  /// const is load-bearing: the artifact is shared across threads unlocked.
+  static std::shared_ptr<const CompiledModel> compile(const ir::Graph& graph,
+                                                      CompileOptions options = {});
+
+  std::size_t max_batch() const { return options_.max_batch; }
+  const CompileOptions& options() const { return options_; }
+  const core::OptimizeStats& stats() const { return stats_; }
+
+  /// The optimized graph stamped for `batch` in [1, max_batch].
+  const ir::Graph& graph(std::size_t batch) const { return variants_[index(batch)]; }
+
+  /// The pre-validated arena plan for `batch`'s variant.
+  const runtime::ArenaPlan& plan(std::size_t batch) const { return plans_[index(batch)]; }
+
+  /// Shared GEMM weight packing, valid for every batch variant.
+  const runtime::PackedWeights& prepack() const { return prepack_; }
+
+  /// Slab size that satisfies every variant's plan (max over batch sizes).
+  std::int64_t slab_bytes() const { return slab_bytes_; }
+  std::int64_t packed_weight_bytes() const { return prepack_.bytes; }
+  std::int64_t weight_bytes() const { return weight_bytes_; }
+
+  // ---- request signature (batch-1 template shapes) -------------------------
+
+  std::size_t num_inputs() const { return input_shapes_.size(); }
+  const Shape& input_shape(std::size_t i) const { return input_shapes_[i]; }
+  std::size_t num_outputs() const { return output_shapes_.size(); }
+  const Shape& output_shape(std::size_t o) const { return output_shapes_[o]; }
+
+  /// The micro-batcher's compatibility predicate: a request is batchable iff
+  /// it carries exactly one defined tensor per model input with the batch-1
+  /// template shape.  Requests satisfying this are coalescible with each
+  /// other by construction — there is nothing else to compare.
+  bool compatible(const std::vector<Tensor>& inputs) const;
+
+  /// Throws InvalidGraphError/ShapeError naming the first violation.
+  void check_compatible(const std::vector<Tensor>& inputs) const;
+
+ private:
+  CompiledModel() = default;
+
+  std::size_t index(std::size_t batch) const {
+    TEMCO_CHECK(batch >= 1 && batch <= variants_.size())
+        << "batch " << batch << " outside compiled range [1, " << variants_.size() << "]";
+    return batch - 1;
+  }
+
+  CompileOptions options_;
+  core::OptimizeStats stats_;
+  std::vector<ir::Graph> variants_;        ///< [k-1] holds the batch-k graph
+  std::vector<runtime::ArenaPlan> plans_;  ///< parallel to variants_
+  runtime::PackedWeights prepack_;
+  std::int64_t slab_bytes_ = 0;
+  std::int64_t weight_bytes_ = 0;
+  std::vector<Shape> input_shapes_;   ///< batch-1 input templates, in input order
+  std::vector<Shape> output_shapes_;  ///< batch-1 output templates, in output order
+};
+
+}  // namespace temco::serve

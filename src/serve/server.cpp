@@ -1,0 +1,168 @@
+#include "serve/server.hpp"
+
+namespace temco::serve {
+
+Server::Server(std::shared_ptr<const CompiledModel> model, ServerOptions options)
+    : model_(std::move(model)), options_(options) {
+  TEMCO_CHECK_AS(options_.workers >= 1, InvalidGraphError) << "server needs at least one worker";
+  TEMCO_CHECK_AS(options_.queue_capacity >= 1, InvalidGraphError)
+      << "queue capacity must be at least 1";
+  if (options_.sessions == 0) options_.sessions = options_.workers;
+  if (options_.max_batch == 0) options_.max_batch = model_->max_batch();
+  TEMCO_CHECK_AS(options_.max_batch <= model_->max_batch(), ResourceExhaustedError)
+      << "server max_batch " << options_.max_batch << " exceeds the model's compiled ceiling "
+      << model_->max_batch();
+
+  pool_ = std::make_unique<SessionPool>(model_, options_.sessions);
+  worker_pool_ = std::make_unique<ThreadPool>(options_.workers);
+
+  // The dispatcher is the worker pool's participating caller: it blocks in
+  // run() for the server's whole life, contributing one worker lane itself.
+  dispatcher_ = std::thread([this] {
+    try {
+      worker_pool_->run(options_.workers, [this](std::size_t) { worker_loop(); });
+    } catch (...) {
+      // A worker's queue logic itself failed (batch execution errors are
+      // contained in execute_batch and never reach here).  Stop admission
+      // and fail whatever is still queued so no future is abandoned.
+      std::deque<Request> orphaned;
+      {
+        std::lock_guard<std::mutex> lock(queue_mutex_);
+        stopping_ = true;
+        orphaned.swap(queue_);
+      }
+      queue_cv_.notify_all();
+      for (Request& request : orphaned) {
+        counters_.cancelled.fetch_add(1, std::memory_order_relaxed);
+        request.promise.set_exception(std::make_exception_ptr(
+            CancelledError("server worker failed before this request ran")));
+      }
+    }
+  });
+}
+
+Server::~Server() { shutdown(false); }
+
+std::future<std::vector<Tensor>> Server::submit(std::vector<Tensor> inputs) {
+  model_->check_compatible(inputs);
+  Request request;
+  request.inputs = std::move(inputs);
+  std::future<std::vector<Tensor>> future = request.promise.get_future();
+  {
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    TEMCO_CHECK_AS(!stopping_, CancelledError) << "server is shutting down";
+    if (queue_.size() >= options_.queue_capacity) {
+      counters_.rejected.fetch_add(1, std::memory_order_relaxed);
+      TEMCO_CHECK_AS(false, ResourceExhaustedError)
+          << "admission queue is at capacity (" << options_.queue_capacity
+          << " requests); back off and retry";
+    }
+    queue_.push_back(std::move(request));
+    counters_.accepted.fetch_add(1, std::memory_order_relaxed);
+  }
+  queue_cv_.notify_one();
+  return future;
+}
+
+void Server::worker_loop() {
+  for (;;) {
+    std::vector<Request> batch;
+    {
+      std::unique_lock<std::mutex> lock(queue_mutex_);
+      queue_cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping, and nothing left to run
+
+      batch.push_back(std::move(queue_.front()));
+      queue_.pop_front();
+      // Coalesce: drain whatever is already queued, then wait out the
+      // batching window for stragglers — but never once a full batch is in
+      // hand, and never during shutdown (no stragglers will be admitted).
+      const auto deadline = std::chrono::steady_clock::now() + options_.batch_timeout;
+      while (batch.size() < options_.max_batch) {
+        if (!queue_.empty()) {
+          batch.push_back(std::move(queue_.front()));
+          queue_.pop_front();
+          continue;
+        }
+        if (stopping_) break;
+        if (queue_cv_.wait_until(lock, deadline) == std::cv_status::timeout) break;
+      }
+      // Claimed while still holding the queue lock: once in_flight counts a
+      // request, it is guaranteed to resolve — shutdown cancels only what is
+      // still in queue_.
+      counters_.in_flight.fetch_add(batch.size(), std::memory_order_relaxed);
+    }
+    execute_batch(batch);
+    counters_.in_flight.fetch_sub(batch.size(), std::memory_order_relaxed);
+  }
+}
+
+void Server::execute_batch(std::vector<Request>& batch) {
+  try {
+    SessionPool::Lease lease = pool_->acquire();
+    std::vector<const std::vector<Tensor>*> requests;
+    requests.reserve(batch.size());
+    for (const Request& request : batch) requests.push_back(&request.inputs);
+    std::vector<std::vector<Tensor>> responses = lease->run_batch(requests);
+    lease.release();  // free the session before the (cheap) promise fanout
+    // Counters first: a client that observes its future ready must also
+    // observe the completion counted.
+    counters_.completed.fetch_add(batch.size(), std::memory_order_relaxed);
+    counters_.batches.fetch_add(1, std::memory_order_relaxed);
+    counters_.batched_requests.fetch_add(batch.size(), std::memory_order_relaxed);
+    std::uint64_t seen = counters_.max_batch_seen.load(std::memory_order_relaxed);
+    while (seen < batch.size() &&
+           !counters_.max_batch_seen.compare_exchange_weak(seen, batch.size())) {
+    }
+    for (std::size_t r = 0; r < batch.size(); ++r) {
+      batch[r].promise.set_value(std::move(responses[r]));
+    }
+  } catch (...) {
+    // Fault isolation: exactly this batch's requests observe the error; the
+    // worker, its session, and every other batch stay serviceable.
+    const std::exception_ptr error = std::current_exception();
+    counters_.failed.fetch_add(batch.size(), std::memory_order_relaxed);
+    for (Request& request : batch) request.promise.set_exception(error);
+  }
+}
+
+void Server::shutdown(bool drain) {
+  // Serialize whole shutdowns: the second caller waits for the first to
+  // finish joining, then sees joined_ and returns.
+  std::lock_guard<std::mutex> shutdown_lock(shutdown_mutex_);
+  std::deque<Request> orphaned;
+  {
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    if (joined_) return;
+    stopping_ = true;
+    if (!drain) orphaned.swap(queue_);
+  }
+  queue_cv_.notify_all();
+  for (Request& request : orphaned) {
+    counters_.cancelled.fetch_add(1, std::memory_order_relaxed);
+    request.promise.set_exception(std::make_exception_ptr(
+        CancelledError("request cancelled: server shut down before it ran")));
+  }
+  if (dispatcher_.joinable()) dispatcher_.join();
+  worker_pool_->shutdown();
+  {
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    joined_ = true;
+  }
+}
+
+ServerStats Server::stats() const {
+  ServerStats snapshot;
+  snapshot.accepted = counters_.accepted.load(std::memory_order_relaxed);
+  snapshot.rejected = counters_.rejected.load(std::memory_order_relaxed);
+  snapshot.completed = counters_.completed.load(std::memory_order_relaxed);
+  snapshot.failed = counters_.failed.load(std::memory_order_relaxed);
+  snapshot.cancelled = counters_.cancelled.load(std::memory_order_relaxed);
+  snapshot.batches = counters_.batches.load(std::memory_order_relaxed);
+  snapshot.batched_requests = counters_.batched_requests.load(std::memory_order_relaxed);
+  snapshot.max_batch_seen = counters_.max_batch_seen.load(std::memory_order_relaxed);
+  snapshot.in_flight = counters_.in_flight.load(std::memory_order_relaxed);
+  return snapshot;
+}
+
+}  // namespace temco::serve

@@ -1,0 +1,143 @@
+// Request server: bounded admission queue, worker threads, and a dynamic
+// micro-batcher over the session pool.
+//
+// Life of a request: submit() validates it against the model's compatibility
+// predicate and enqueues it (throwing typed errors instead of blocking when
+// the server is stopping or the queue is full — the backpressure contract),
+// returning a future.  A worker takes the oldest request, then coalesces
+// further compatible requests into a micro-batch — up to max_batch of them,
+// waiting at most batch_timeout for stragglers, never waiting when the
+// queue already holds a full batch — checks out a session, executes the
+// batch-k variant once, and fulfills each request's future with its own
+// slice of the batched outputs.  Batched outputs are bit-identical to
+// running each request alone, so batching is invisible to clients except as
+// throughput.
+//
+// Failure isolation: an execution fault (kernel check, NumericError from
+// check_numerics, injected failpoint) fails exactly the requests of the
+// batch that hit it; other batches — including ones coalesced a moment
+// later from the same queue — are unaffected, and the worker, session, and
+// server all remain serviceable.
+//
+// Shutdown: shutdown(drain=true) stops admission and completes everything
+// already accepted; shutdown(drain=false) — what the destructor does —
+// additionally fails still-queued requests with CancelledError.  Requests a
+// worker has already claimed always run to completion, so a fulfilled
+// future is never abandoned and a queued one always resolves to a value or
+// a typed error; nothing is silently dropped.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "parallel/thread_pool.hpp"
+#include "serve/session.hpp"
+
+namespace temco::serve {
+
+struct ServerOptions {
+  /// Worker threads pulling micro-batches off the queue.
+  std::size_t workers = 2;
+
+  /// Sessions in the pool; 0 means one per worker (the useful minimum —
+  /// fewer would make workers queue on checkout, more is wasted slab).
+  std::size_t sessions = 0;
+
+  /// Admission queue bound; a submit beyond it throws
+  /// ResourceExhaustedError (backpressure, never silent dropping).
+  std::size_t queue_capacity = 256;
+
+  /// Micro-batch ceiling; 0 means the model's compiled max_batch.  Must not
+  /// exceed it.  1 disables batching (the pool-only serving mode).
+  std::size_t max_batch = 0;
+
+  /// How long a worker holding a partial batch waits for stragglers before
+  /// executing.  0 executes whatever one queue drain yields.
+  std::chrono::microseconds batch_timeout{200};
+};
+
+/// Monotonic counters, readable at any time; a snapshot, not a transaction.
+struct ServerStats {
+  std::uint64_t accepted = 0;          ///< requests admitted to the queue
+  std::uint64_t rejected = 0;          ///< submits refused (queue full)
+  std::uint64_t completed = 0;         ///< futures fulfilled with outputs
+  std::uint64_t failed = 0;            ///< futures fulfilled with an execution error
+  std::uint64_t cancelled = 0;         ///< futures failed with CancelledError at shutdown
+  std::uint64_t batches = 0;           ///< micro-batches executed
+  std::uint64_t batched_requests = 0;  ///< requests summed over those batches
+  std::uint64_t max_batch_seen = 0;    ///< largest coalesced batch so far
+  std::uint64_t in_flight = 0;         ///< claimed by a worker, not yet resolved
+};
+
+class Server {
+ public:
+  Server(std::shared_ptr<const CompiledModel> model, ServerOptions options = {});
+
+  /// Equivalent to shutdown(false): accepted-but-queued requests are failed
+  /// with CancelledError, claimed ones complete.
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Enqueues one request and returns the future its outputs (or error)
+  /// will arrive on.  Throws ShapeError/InvalidGraphError when the inputs
+  /// don't satisfy the model's compatibility predicate, CancelledError
+  /// after shutdown began, and ResourceExhaustedError when the queue is at
+  /// capacity — the caller's signal to back off.
+  std::future<std::vector<Tensor>> submit(std::vector<Tensor> inputs);
+
+  /// Stops admission and joins the workers.  drain=true completes every
+  /// queued request first; drain=false fails queued requests with
+  /// CancelledError.  Idempotent; later calls are no-ops.
+  void shutdown(bool drain);
+
+  ServerStats stats() const;
+  const CompiledModel& model() const { return *model_; }
+
+  /// The underlying pool — exposed so tests can stall workers by holding
+  /// leases and benchmarks can report resident bytes.
+  SessionPool& session_pool() { return *pool_; }
+
+ private:
+  struct Request {
+    std::vector<Tensor> inputs;
+    std::promise<std::vector<Tensor>> promise;
+  };
+
+  void worker_loop();
+  void execute_batch(std::vector<Request>& batch);
+
+  std::shared_ptr<const CompiledModel> model_;
+  ServerOptions options_;
+  std::unique_ptr<SessionPool> pool_;
+
+  std::mutex queue_mutex_;
+  std::condition_variable queue_cv_;
+  std::deque<Request> queue_;
+  bool stopping_ = false;
+  bool joined_ = false;
+  std::mutex shutdown_mutex_;  ///< serializes concurrent shutdown() calls
+
+  /// Workers run as long-lived tasks on a dedicated pool (their kernels
+  /// then execute inline within the task, by the nested-run rule); the
+  /// dispatcher thread is the pool's participating caller.
+  std::unique_ptr<ThreadPool> worker_pool_;
+  std::thread dispatcher_;
+
+  struct Counters {
+    std::atomic<std::uint64_t> accepted{0}, rejected{0}, completed{0}, failed{0}, cancelled{0},
+        batches{0}, batched_requests{0}, max_batch_seen{0}, in_flight{0};
+  };
+  Counters counters_;
+};
+
+}  // namespace temco::serve

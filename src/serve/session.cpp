@@ -1,0 +1,160 @@
+#include "serve/session.hpp"
+
+#include <cstdlib>
+#include <cstring>
+
+#include "support/align.hpp"
+
+namespace temco::serve {
+
+Session::Session(std::shared_ptr<const CompiledModel> model)
+    : model_(std::move(model)), slab_(nullptr, [](float* p) { std::free(p); }) {
+  const std::int64_t bytes = model_->slab_bytes();
+  float* raw = static_cast<float*>(std::aligned_alloc(static_cast<std::size_t>(kTensorAlignment),
+                                                      static_cast<std::size_t>(bytes)));
+  TEMCO_CHECK_AS(raw != nullptr, ResourceExhaustedError)
+      << "session arena allocation of " << bytes << " bytes failed";
+  // The executor never initializes a bound slab; fill it once here the same
+  // way an owned slab would be (runtime/executor.cpp bind_arena).
+  std::memset(raw, model_->options().arena_canaries ? runtime::kArenaPoisonByte : 0,
+              static_cast<std::size_t>(bytes));
+  slab_.reset(raw);
+
+  const std::size_t max_batch = model_->max_batch();
+  executors_.reserve(max_batch);
+  for (std::size_t k = 1; k <= max_batch; ++k) {
+    runtime::ExecutorOptions exec_options;
+    exec_options.use_arena = true;
+    exec_options.check_numerics = model_->options().check_numerics;
+    exec_options.arena_canaries = model_->options().arena_canaries;
+    exec_options.parallelism = 1;
+    runtime::ExecutorBinding binding;
+    binding.prepack = &model_->prepack();
+    binding.plan = &model_->plan(k);
+    binding.slab = raw;
+    binding.slab_bytes = bytes;
+    executors_.push_back(
+        std::make_unique<runtime::Executor>(model_->graph(k), exec_options, binding));
+  }
+
+  // Max-batch staging storage, with one prebuilt batch-k view per variant.
+  // The batch dimension is outermost, so "the first k rows" is a prefix of
+  // the same contiguous buffer — a view costs a handle, not a copy.
+  views_in_.resize(max_batch);
+  views_out_.resize(max_batch);
+  for (std::size_t i = 0; i < model_->num_inputs(); ++i) {
+    const Shape full = model_->input_shape(i).with_dim(0, static_cast<std::int64_t>(max_batch));
+    Buffer storage = allocate_buffer(full.numel());
+    staging_in_.emplace_back(full, storage);
+    for (std::size_t k = 1; k <= max_batch; ++k) {
+      views_in_[k - 1].emplace_back(
+          model_->input_shape(i).with_dim(0, static_cast<std::int64_t>(k)), storage);
+    }
+  }
+  for (std::size_t o = 0; o < model_->num_outputs(); ++o) {
+    const Shape full = model_->output_shape(o).with_dim(0, static_cast<std::int64_t>(max_batch));
+    Buffer storage = allocate_buffer(full.numel());
+    staging_out_.emplace_back(full, storage);
+    for (std::size_t k = 1; k <= max_batch; ++k) {
+      views_out_[k - 1].emplace_back(
+          model_->output_shape(o).with_dim(0, static_cast<std::int64_t>(k)), storage);
+    }
+  }
+}
+
+std::vector<std::vector<Tensor>> Session::run_batch(
+    const std::vector<const std::vector<Tensor>*>& requests) {
+  const std::size_t k = requests.size();
+  TEMCO_CHECK_AS(k >= 1, InvalidGraphError) << "run_batch needs at least one request";
+  TEMCO_CHECK_AS(k <= model_->max_batch(), ResourceExhaustedError)
+      << "batch of " << k << " requests exceeds the compiled max_batch "
+      << model_->max_batch();
+  for (const std::vector<Tensor>* request : requests) {
+    TEMCO_CHECK_AS(request != nullptr, InvalidGraphError) << "null request in batch";
+    model_->check_compatible(*request);
+  }
+
+  // Gather: request r's input i becomes row r of staging input i.
+  for (std::size_t i = 0; i < staging_in_.size(); ++i) {
+    const std::int64_t row = model_->input_shape(i).numel();
+    float* base = staging_in_[i].data();
+    for (std::size_t r = 0; r < k; ++r) {
+      std::memcpy(base + static_cast<std::int64_t>(r) * row, (*requests[r])[i].data(),
+                  static_cast<std::size_t>(row) * sizeof(float));
+    }
+  }
+
+  executors_[k - 1]->run_into(views_in_[k - 1], views_out_[k - 1]);
+
+  // Split: row r of each staging output becomes request r's response tensor.
+  // Responses are fresh heap tensors — they outlive the session checkout.
+  std::vector<std::vector<Tensor>> responses(k);
+  for (std::size_t r = 0; r < k; ++r) {
+    responses[r].reserve(staging_out_.size());
+    for (std::size_t o = 0; o < staging_out_.size(); ++o) {
+      const std::int64_t row = model_->output_shape(o).numel();
+      Tensor out = Tensor::zeros(model_->output_shape(o));
+      std::memcpy(out.data(), staging_out_[o].data() + static_cast<std::int64_t>(r) * row,
+                  static_cast<std::size_t>(row) * sizeof(float));
+      responses[r].push_back(std::move(out));
+    }
+  }
+  return responses;
+}
+
+std::vector<Tensor> Session::run(const std::vector<Tensor>& inputs) {
+  return run_batch({&inputs}).front();
+}
+
+SessionPool::SessionPool(std::shared_ptr<const CompiledModel> model, std::size_t size) {
+  TEMCO_CHECK_AS(size >= 1, InvalidGraphError) << "session pool needs at least one session";
+  sessions_.reserve(size);
+  free_.reserve(size);
+  for (std::size_t i = 0; i < size; ++i) {
+    sessions_.push_back(std::make_unique<Session>(model));
+    free_.push_back(sessions_.back().get());
+  }
+}
+
+SessionPool::Lease SessionPool::acquire() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  free_cv_.wait(lock, [this] { return !free_.empty(); });
+  Session* session = free_.back();
+  free_.pop_back();
+  return Lease(this, session);
+}
+
+std::optional<SessionPool::Lease> SessionPool::try_acquire() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (free_.empty()) return std::nullopt;
+  Session* session = free_.back();
+  free_.pop_back();
+  return Lease(this, session);
+}
+
+std::size_t SessionPool::available() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return free_.size();
+}
+
+std::int64_t SessionPool::resident_bytes() const {
+  std::int64_t total = 0;
+  for (const auto& session : sessions_) total += session->arena_bytes();
+  return total;
+}
+
+void SessionPool::put_back(Session* session) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    free_.push_back(session);
+  }
+  free_cv_.notify_one();
+}
+
+void SessionPool::Lease::release() {
+  if (session_ != nullptr && pool_ != nullptr) pool_->put_back(session_);
+  pool_ = nullptr;
+  session_ = nullptr;
+}
+
+}  // namespace temco::serve

@@ -1,0 +1,132 @@
+// Arena serving sessions and the session pool.
+//
+// A Session is the mutable half of the serving runtime: one preallocated
+// arena slab plus one bound arena executor per batch variant of a shared
+// CompiledModel.  Everything a run needs — the slab, the staging tensors
+// batched requests are gathered into, the executors' bound views — is
+// allocated at construction, so the steady-state path performs zero heap
+// allocations and zero re-planning: check out a session, gather, run, split.
+//
+// Sessions are NOT thread-safe (the batch variants deliberately share one
+// slab); the SessionPool provides the checkout protocol that keeps each
+// session owned by at most one thread at a time.  Checkout is a Lease — an
+// RAII handle that returns the session on destruction — so a session can
+// never leak out of the pool on an exception path.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "runtime/executor.hpp"
+#include "serve/compiled_model.hpp"
+
+namespace temco::serve {
+
+class Session {
+ public:
+  /// Allocates the slab (poison-filled when the model compiled with
+  /// arena_canaries, zeroed otherwise) and binds one arena executor per
+  /// batch variant to it.  All expensive work happens here, never in run.
+  explicit Session(std::shared_ptr<const CompiledModel> model);
+
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  const CompiledModel& model() const { return *model_; }
+
+  /// Bytes of arena slab this session keeps resident.
+  std::int64_t arena_bytes() const { return model_->slab_bytes(); }
+
+  /// Executes one micro-batch: gathers each request's inputs into the
+  /// batch-k staging rows, runs the batch-k variant once, and splits the
+  /// batched outputs back into one freshly allocated per-request tensor
+  /// list.  `requests` must be non-empty, at most max_batch long, and every
+  /// request must satisfy the model's compatibility predicate.  Outputs are
+  /// bit-identical to running each request alone at batch 1 — kernels fix
+  /// per-element accumulation order by geometry, independent of batch count
+  /// (asserted across the zoo in tests/test_batched.cpp).
+  std::vector<std::vector<Tensor>> run_batch(
+      const std::vector<const std::vector<Tensor>*>& requests);
+
+  /// Single-request sugar: run_batch of one, unwrapped.
+  std::vector<Tensor> run(const std::vector<Tensor>& inputs);
+
+ private:
+  std::shared_ptr<const CompiledModel> model_;
+  std::unique_ptr<float, void (*)(float*)> slab_;
+  /// executors_[k-1] runs the batch-k variant; all bind the one slab_.
+  std::vector<std::unique_ptr<runtime::Executor>> executors_;
+  /// Max-batch staging storage; the batch-k views below alias its rows.
+  std::vector<Tensor> staging_in_;
+  std::vector<Tensor> staging_out_;
+  /// views_in_[k-1][i]: the first k rows of staging_in_[i], shaped for batch
+  /// k — prebuilt so steady-state runs allocate nothing but response tensors.
+  std::vector<std::vector<Tensor>> views_in_;
+  std::vector<std::vector<Tensor>> views_out_;
+};
+
+/// Fixed set of reusable sessions with blocking checkout.  The pool is the
+/// serving runtime's memory ceiling: resident arena bytes are
+/// size() * slab_bytes, decided at construction, independent of load.
+class SessionPool {
+ public:
+  SessionPool(std::shared_ptr<const CompiledModel> model, std::size_t size);
+
+  /// RAII checkout: returns the session to the pool on destruction.
+  class Lease {
+   public:
+    Lease() = default;
+    Lease(SessionPool* pool, Session* session) : pool_(pool), session_(session) {}
+    Lease(Lease&& other) noexcept { *this = std::move(other); }
+    Lease& operator=(Lease&& other) noexcept {
+      release();
+      pool_ = other.pool_;
+      session_ = other.session_;
+      other.pool_ = nullptr;
+      other.session_ = nullptr;
+      return *this;
+    }
+    Lease(const Lease&) = delete;
+    Lease& operator=(const Lease&) = delete;
+    ~Lease() { release(); }
+
+    explicit operator bool() const { return session_ != nullptr; }
+    Session* operator->() const { return session_; }
+    Session& operator*() const { return *session_; }
+
+    void release();
+
+   private:
+    SessionPool* pool_ = nullptr;
+    Session* session_ = nullptr;
+  };
+
+  /// Blocks until a session is free.
+  Lease acquire();
+
+  /// Non-blocking checkout; empty optional when every session is out.
+  std::optional<Lease> try_acquire();
+
+  std::size_t size() const { return sessions_.size(); }
+
+  /// Sessions currently checked in (free).
+  std::size_t available() const;
+
+  /// Total arena bytes held resident by the pool.
+  std::int64_t resident_bytes() const;
+
+ private:
+  friend class Lease;
+  void put_back(Session* session);
+
+  std::vector<std::unique_ptr<Session>> sessions_;
+  mutable std::mutex mutex_;
+  std::condition_variable free_cv_;
+  std::vector<Session*> free_;
+};
+
+}  // namespace temco::serve

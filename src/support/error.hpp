@@ -54,4 +54,13 @@ class MemoryCorruptionError : public Error {
   using Error::Error;
 };
 
+/// Work was abandoned before it ran: a serving request still sitting in the
+/// queue when its server shut down.  Distinct from ResourceExhaustedError
+/// (the request *was* accepted; capacity was never the problem) so clients
+/// can tell "retry elsewhere" from "back off".
+class CancelledError : public Error {
+ public:
+  using Error::Error;
+};
+
 }  // namespace temco

@@ -3,6 +3,7 @@
 
 #include <atomic>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <numeric>
 #include <set>
@@ -199,6 +200,52 @@ TEST(GlobalPoolTest, IsSingletonAndUsable) {
   std::atomic<int> count{0};
   a.run(32, [&](std::size_t) { count.fetch_add(1); });
   EXPECT_EQ(count.load(), 32);
+}
+
+TEST(ThreadPoolShutdownTest, IsIdempotentAndLeavesPoolUsableInline) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  pool.run(64, [&](std::size_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 64);
+
+  pool.shutdown();
+  pool.shutdown();  // second call must be a no-op, not a double-join
+  EXPECT_EQ(pool.concurrency(), 1u) << "workers retired";
+
+  // A retired pool still runs batches — serially, on the caller.
+  count.store(0);
+  const auto caller = std::this_thread::get_id();
+  std::vector<std::thread::id> seen(16);
+  pool.run(16, [&](std::size_t i) {
+    count.fetch_add(1);
+    seen[i] = std::this_thread::get_id();
+  });
+  EXPECT_EQ(count.load(), 16);
+  for (const auto id : seen) EXPECT_EQ(id, caller);
+}
+
+TEST(ThreadPoolShutdownTest, DestructionAfterShutdownIsClean) {
+  auto pool = std::make_unique<ThreadPool>(3);
+  pool->run(8, [](std::size_t) {});
+  pool->shutdown();
+  pool.reset();  // destructor re-enters shutdown(); must not hang or throw
+}
+
+TEST(ThreadPoolConcurrentTest, RacingCallersBothCompleteAllTasks) {
+  // Two threads sharing one pool (the serving pattern: concurrent sessions
+  // whose kernels share the global pool).  The loser of the ownership race
+  // runs inline; both must execute every index exactly once.
+  ThreadPool pool(4);
+  constexpr std::size_t kTasks = 2000;
+  std::atomic<int> a_count{0};
+  std::atomic<int> b_count{0};
+  std::thread other([&] {
+    pool.run(kTasks, [&](std::size_t) { b_count.fetch_add(1); });
+  });
+  pool.run(kTasks, [&](std::size_t) { a_count.fetch_add(1); });
+  other.join();
+  EXPECT_EQ(a_count.load(), static_cast<int>(kTasks));
+  EXPECT_EQ(b_count.load(), static_cast<int>(kTasks));
 }
 
 }  // namespace

@@ -169,5 +169,73 @@ TEST(ExecutorTest, TimelineMatchesPlanOnRealModel) {
   EXPECT_EQ(plan.peak_internal_bytes, result.peak_internal_bytes);
 }
 
+/// Two-output graph for the run_into aliasing rules.
+ir::Graph two_output_graph() {
+  ir::Graph g;
+  const auto x = g.input(Shape{1, 4, 8, 8}, "x");
+  const auto a = g.relu(x, "a");
+  const auto b = g.silu(x, "b");
+  g.set_outputs({a, b});
+  g.infer_shapes();
+  g.verify();
+  return g;
+}
+
+TEST(RunIntoTest, WritesCallerBuffersAndMatchesRun) {
+  const auto g = two_output_graph();
+  Rng rng(500);
+  const Tensor input = Tensor::random_normal(Shape{1, 4, 8, 8}, rng);
+
+  for (const bool use_arena : {false, true}) {
+    runtime::Executor executor(g, {.use_arena = use_arena});
+    const auto want = executor.run({input});
+    std::vector<Tensor> outputs{Tensor::zeros(Shape{1, 4, 8, 8}),
+                                Tensor::zeros(Shape{1, 4, 8, 8})};
+    const auto result = executor.run_into({input}, outputs);
+    EXPECT_TRUE(result.outputs.empty()) << "run_into must not clone outputs";
+    for (std::size_t o = 0; o < outputs.size(); ++o) {
+      EXPECT_EQ(max_abs_diff(outputs[o], want.outputs[o]), 0.0f) << "use_arena=" << use_arena;
+    }
+  }
+}
+
+TEST(RunIntoTest, RejectsCountShapeAndUndefinedViolations) {
+  const auto g = two_output_graph();
+  runtime::Executor executor(g, {.use_arena = true});
+  Rng rng(501);
+  const Tensor input = Tensor::random_normal(Shape{1, 4, 8, 8}, rng);
+
+  std::vector<Tensor> too_few{Tensor::zeros(Shape{1, 4, 8, 8})};
+  EXPECT_THROW(executor.run_into({input}, too_few), InvalidGraphError);
+
+  std::vector<Tensor> wrong_shape{Tensor::zeros(Shape{1, 4, 8, 8}),
+                                  Tensor::zeros(Shape{1, 4, 4, 4})};
+  EXPECT_THROW(executor.run_into({input}, wrong_shape), ShapeError);
+
+  std::vector<Tensor> undefined{Tensor::zeros(Shape{1, 4, 8, 8}), Tensor()};
+  EXPECT_THROW(executor.run_into({input}, undefined), InvalidGraphError);
+}
+
+TEST(RunIntoTest, RejectsAliasedOutputsButAllowsInputAliasing) {
+  const auto g = two_output_graph();
+  runtime::Executor executor(g, {.use_arena = true});
+  Rng rng(502);
+  const Tensor input = Tensor::random_normal(Shape{1, 4, 8, 8}, rng);
+
+  // Same storage twice: order-dependent results, must be refused.
+  Tensor shared = Tensor::zeros(Shape{1, 4, 8, 8});
+  std::vector<Tensor> aliased{shared, shared};
+  EXPECT_THROW(executor.run_into({input}, aliased), InvalidGraphError);
+
+  // An output aliasing an *input* is legal: inputs are consumed into
+  // internal storage before any output byte is written.
+  const auto want = executor.run({input});
+  Tensor in_place = input.clone();
+  std::vector<Tensor> outputs{in_place, Tensor::zeros(Shape{1, 4, 8, 8})};
+  executor.run_into({in_place}, outputs);
+  EXPECT_EQ(max_abs_diff(outputs[0], want.outputs[0]), 0.0f);
+  EXPECT_EQ(max_abs_diff(outputs[1], want.outputs[1]), 0.0f);
+}
+
 }  // namespace
 }  // namespace temco

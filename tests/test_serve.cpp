@@ -1,0 +1,406 @@
+// Serving runtime semantics: compile-once artifacts, the session pool's
+// checkout protocol, and the server's batching/backpressure/shutdown/fault
+// contracts.
+//
+// The timing-sensitive scenarios are made deterministic without sleeps by
+// construction: tests stall the single worker at a known point by holding
+// the pool's only session lease, use the in_flight counter as the "worker
+// has claimed the request" sync point, and give the micro-batcher a long
+// coalescing window so every submitted straggler lands in the intended
+// batch.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <functional>
+#include <thread>
+
+#include "core/temco.hpp"
+#include "decomp/pass.hpp"
+#include "models/zoo.hpp"
+#include "runtime/executor.hpp"
+#include "serve/server.hpp"
+#include "serve/session.hpp"
+#include "support/failpoint.hpp"
+#include "support/rng.hpp"
+#include "tensor/compare.hpp"
+
+namespace temco {
+namespace {
+
+using namespace std::chrono_literals;
+using serve::CompiledModel;
+using serve::CompileOptions;
+using serve::Server;
+using serve::ServerOptions;
+using serve::Session;
+using serve::SessionPool;
+
+models::ModelConfig serve_config() {
+  models::ModelConfig config;
+  config.batch = 1;  // serving templates are batch-1; variants are stamped
+  config.image = 32;
+  config.width = 0.125;
+  config.classes = 10;
+  config.seed = 123;
+  return config;
+}
+
+CompileOptions compile_options(std::size_t max_batch, bool check_numerics = false) {
+  CompileOptions options;
+  options.max_batch = max_batch;
+  options.check_numerics = check_numerics;
+  return options;
+}
+
+std::shared_ptr<const CompiledModel> compile_zoo_model(const std::string& name,
+                                                       CompileOptions options = {}) {
+  const auto& spec = models::find_model(name);
+  const ir::Graph graph = spec.build(serve_config());
+  const ir::Graph decomposed = decomp::decompose(graph, {.ratio = 0.25}).graph;
+  return CompiledModel::compile(decomposed, options);
+}
+
+std::vector<Tensor> random_request(const CompiledModel& model, Rng& rng) {
+  std::vector<Tensor> inputs;
+  for (std::size_t i = 0; i < model.num_inputs(); ++i) {
+    inputs.push_back(Tensor::random_normal(model.input_shape(i), rng));
+  }
+  return inputs;
+}
+
+/// Bounded spin-wait for cross-thread state the server exposes via stats.
+bool eventually(const std::function<bool()>& predicate, std::chrono::milliseconds limit = 5s) {
+  const auto deadline = std::chrono::steady_clock::now() + limit;
+  while (!predicate()) {
+    if (std::chrono::steady_clock::now() > deadline) return false;
+    std::this_thread::sleep_for(1ms);
+  }
+  return true;
+}
+
+// ---- CompiledModel ---------------------------------------------------------
+
+TEST(CompiledModelTest, StampsOneVariantPerBatchWithSharedArtifacts) {
+  auto model = compile_zoo_model("resnet18", compile_options(4));
+  EXPECT_EQ(model->max_batch(), 4u);
+  EXPECT_GT(model->stats().fused_kernels, 0) << "pipeline did not run";
+  for (std::size_t k = 1; k <= 4; ++k) {
+    const ir::Graph& variant = model->graph(k);
+    for (const auto& node : variant.nodes()) {
+      if (node.kind == ir::OpKind::kInput) {
+        EXPECT_EQ(node.out_shape[0], static_cast<std::int64_t>(k));
+      }
+    }
+    EXPECT_LE(model->plan(k).arena_bytes, model->slab_bytes());
+  }
+  EXPECT_EQ(model->plan(4).arena_bytes, model->slab_bytes())
+      << "the largest variant should size the shared slab";
+  EXPECT_GT(model->packed_weight_bytes(), 0);
+}
+
+TEST(CompiledModelTest, CompatibilityPredicateIsTheBatchOneTemplate) {
+  auto model = compile_zoo_model("alexnet");
+  Rng rng(1);
+  const auto good = random_request(*model, rng);
+  EXPECT_TRUE(model->compatible(good));
+  EXPECT_NO_THROW(model->check_compatible(good));
+
+  EXPECT_FALSE(model->compatible({}));
+  EXPECT_THROW(model->check_compatible({}), InvalidGraphError);
+
+  std::vector<Tensor> undefined(1);
+  EXPECT_FALSE(model->compatible(undefined));
+  EXPECT_THROW(model->check_compatible(undefined), InvalidGraphError);
+
+  const Shape wrong = model->input_shape(0).with_dim(0, 2);
+  std::vector<Tensor> batched{Tensor::zeros(wrong)};
+  EXPECT_FALSE(model->compatible(batched));
+  EXPECT_THROW(model->check_compatible(batched), ShapeError);
+}
+
+// ---- Session ---------------------------------------------------------------
+
+class ZooSessionTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(ZooSessionTest, BatchSplitMergeMatchesSequentialBitForBit) {
+  auto model = compile_zoo_model(GetParam(), compile_options(4));
+  Session session(model);
+
+  Rng rng(7);
+  std::vector<std::vector<Tensor>> requests;
+  for (int r = 0; r < 3; ++r) requests.push_back(random_request(*model, rng));
+  std::vector<const std::vector<Tensor>*> pointers;
+  for (const auto& request : requests) pointers.push_back(&request);
+
+  const auto batched = session.run_batch(pointers);
+  ASSERT_EQ(batched.size(), requests.size());
+
+  // Sequential truth: a plain batch-1 arena executor, fresh per request.
+  runtime::Executor single(model->graph(1), {.use_arena = true});
+  for (std::size_t r = 0; r < requests.size(); ++r) {
+    const auto want = single.run(requests[r]);
+    ASSERT_EQ(batched[r].size(), want.outputs.size());
+    for (std::size_t o = 0; o < want.outputs.size(); ++o) {
+      EXPECT_EQ(max_abs_diff(batched[r][o], want.outputs[o]), 0.0f)
+          << GetParam() << ": request " << r << " output " << o;
+    }
+  }
+
+  // The same session must serve a different batch size (and the single-
+  // request sugar) off the same slab without cross-variant contamination.
+  const auto solo = session.run(requests[0]);
+  const auto want = single.run(requests[0]);
+  for (std::size_t o = 0; o < want.outputs.size(); ++o) {
+    EXPECT_EQ(max_abs_diff(solo[o], want.outputs[o]), 0.0f);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Models, ZooSessionTest,
+                         ::testing::Values("alexnet", "resnet18", "densenet121", "unet_half"));
+
+TEST(SessionTest, RejectsOversizedAndIncompatibleBatches) {
+  auto model = compile_zoo_model("alexnet", compile_options(2));
+  Session session(model);
+  Rng rng(8);
+  const auto a = random_request(*model, rng);
+  const auto b = random_request(*model, rng);
+  const auto c = random_request(*model, rng);
+  EXPECT_THROW(session.run_batch({&a, &b, &c}), ResourceExhaustedError);
+  EXPECT_THROW(session.run_batch({}), InvalidGraphError);
+  const std::vector<Tensor> empty;
+  EXPECT_THROW(session.run_batch({&empty}), InvalidGraphError);
+}
+
+// ---- SessionPool -----------------------------------------------------------
+
+TEST(SessionPoolTest, CheckoutExhaustionAndReturn) {
+  auto model = compile_zoo_model("alexnet", compile_options(2));
+  SessionPool pool(model, 2);
+  EXPECT_EQ(pool.size(), 2u);
+  EXPECT_EQ(pool.available(), 2u);
+  EXPECT_EQ(pool.resident_bytes(), 2 * model->slab_bytes());
+
+  auto first = pool.try_acquire();
+  auto second = pool.try_acquire();
+  ASSERT_TRUE(first.has_value());
+  ASSERT_TRUE(second.has_value());
+  EXPECT_EQ(pool.available(), 0u);
+  EXPECT_FALSE(pool.try_acquire().has_value()) << "pool exhausted, checkout must not block";
+
+  first->release();
+  EXPECT_EQ(pool.available(), 1u);
+  SessionPool::Lease reacquired = pool.acquire();
+  EXPECT_TRUE(static_cast<bool>(reacquired));
+  EXPECT_EQ(pool.available(), 0u);
+}
+
+// ---- Server ----------------------------------------------------------------
+
+TEST(ServerTest, ManyRequestsMatchSequentialExecutionBitForBit) {
+  auto model = compile_zoo_model("resnet18", compile_options(4));
+  ServerOptions options;
+  options.workers = 2;
+  options.batch_timeout = 100us;
+  Server server(model, options);
+
+  Rng rng(21);
+  constexpr int kRequests = 24;
+  std::vector<std::vector<Tensor>> inputs;
+  std::vector<std::future<std::vector<Tensor>>> futures;
+  for (int r = 0; r < kRequests; ++r) {
+    inputs.push_back(random_request(*model, rng));
+    futures.push_back(server.submit(inputs.back()));
+  }
+
+  runtime::Executor single(model->graph(1), {.use_arena = true});
+  for (int r = 0; r < kRequests; ++r) {
+    const auto got = futures[r].get();  // whatever batch it landed in
+    const auto want = single.run(inputs[r]);
+    ASSERT_EQ(got.size(), want.outputs.size());
+    for (std::size_t o = 0; o < want.outputs.size(); ++o) {
+      EXPECT_EQ(max_abs_diff(got[o], want.outputs[o]), 0.0f) << "request " << r;
+    }
+  }
+  const auto stats = server.stats();
+  EXPECT_EQ(stats.accepted, static_cast<std::uint64_t>(kRequests));
+  EXPECT_EQ(stats.completed, static_cast<std::uint64_t>(kRequests));
+  EXPECT_EQ(stats.failed, 0u);
+  server.shutdown(true);
+  EXPECT_EQ(server.stats().in_flight, 0u);
+}
+
+TEST(ServerTest, RejectsIncompatibleRequestAtSubmission) {
+  auto model = compile_zoo_model("alexnet");
+  Server server(model, {.workers = 1});
+  EXPECT_THROW(server.submit({}), InvalidGraphError);
+  EXPECT_THROW(server.submit({Tensor::zeros(model->input_shape(0).with_dim(0, 2))}),
+               ShapeError);
+  EXPECT_EQ(server.stats().accepted, 0u);
+}
+
+TEST(ServerTest, FullQueueAppliesBackpressure) {
+  auto model = compile_zoo_model("alexnet", compile_options(2));
+  ServerOptions options;
+  options.workers = 1;
+  options.sessions = 1;
+  options.queue_capacity = 3;
+  options.max_batch = 1;  // one claimed request, the rest stay queued
+  Server server(model, options);
+
+  Rng rng(31);
+  const auto request = random_request(*model, rng);
+
+  // Stall the worker: with the only session checked out, it claims one
+  // request and blocks at session checkout.
+  SessionPool::Lease stall = server.session_pool().acquire();
+  std::vector<std::future<std::vector<Tensor>>> futures;
+  futures.push_back(server.submit(request));
+  ASSERT_TRUE(eventually([&] { return server.stats().in_flight == 1; }));
+  for (int i = 0; i < 3; ++i) futures.push_back(server.submit(request));
+
+  EXPECT_THROW(server.submit(request), ResourceExhaustedError);
+  EXPECT_EQ(server.stats().rejected, 1u);
+
+  stall.release();
+  for (auto& future : futures) EXPECT_NO_THROW(future.get());
+  server.shutdown(true);
+  const auto stats = server.stats();
+  EXPECT_EQ(stats.completed, 4u);
+  EXPECT_EQ(stats.accepted, 4u);
+}
+
+TEST(ServerTest, DestructionCancelsQueuedButCompletesClaimedRequests) {
+  auto model = compile_zoo_model("alexnet", compile_options(2));
+  ServerOptions options;
+  options.workers = 1;
+  options.sessions = 1;
+  options.max_batch = 1;
+  Server server(model, options);
+
+  Rng rng(41);
+  const auto request = random_request(*model, rng);
+
+  SessionPool::Lease stall = server.session_pool().acquire();
+  auto claimed = server.submit(request);
+  ASSERT_TRUE(eventually([&] { return server.stats().in_flight == 1; }));
+  auto queued_a = server.submit(request);
+  auto queued_b = server.submit(request);
+
+  // Shutdown from another thread while the worker is wedged on checkout:
+  // queued requests must fail fast with the typed cancellation, the claimed
+  // one must still complete, and neither side may deadlock.
+  std::thread closer([&] { server.shutdown(false); });
+  ASSERT_TRUE(eventually([&] { return server.stats().cancelled == 2; }));
+  EXPECT_THROW(queued_a.get(), CancelledError);
+  EXPECT_THROW(queued_b.get(), CancelledError);
+  EXPECT_THROW(server.submit(request), CancelledError) << "admission closed during shutdown";
+
+  stall.release();
+  EXPECT_NO_THROW(claimed.get()) << "claimed requests are never dropped";
+  closer.join();
+  const auto stats = server.stats();
+  EXPECT_EQ(stats.completed, 1u);
+  EXPECT_EQ(stats.cancelled, 2u);
+}
+
+TEST(ServerTest, DrainShutdownCompletesEverythingAccepted) {
+  auto model = compile_zoo_model("alexnet", compile_options(2));
+  ServerOptions options;
+  options.workers = 1;
+  options.sessions = 1;
+  options.max_batch = 2;
+  options.batch_timeout = 2s;  // stragglers always land in the open batch
+  Server server(model, options);
+
+  Rng rng(51);
+  const auto request = random_request(*model, rng);
+
+  SessionPool::Lease stall = server.session_pool().acquire();
+  std::vector<std::future<std::vector<Tensor>>> futures;
+  for (int i = 0; i < 5; ++i) futures.push_back(server.submit(request));
+  ASSERT_TRUE(eventually([&] { return server.stats().in_flight >= 1; }));
+
+  std::thread closer([&] { server.shutdown(true); });
+  stall.release();
+  closer.join();
+  for (auto& future : futures) EXPECT_NO_THROW(future.get());
+  const auto stats = server.stats();
+  EXPECT_EQ(stats.completed, 5u);
+  EXPECT_EQ(stats.cancelled, 0u);
+}
+
+TEST(ServerTest, CoalescesQueuedRequestsIntoMicroBatches) {
+  auto model = compile_zoo_model("resnet18", compile_options(4));
+  ServerOptions options;
+  options.workers = 1;
+  options.sessions = 1;
+  options.max_batch = 4;
+  options.batch_timeout = 2s;  // full batches dispatch immediately; partial wait
+  Server server(model, options);
+
+  Rng rng(61);
+  std::vector<std::vector<Tensor>> inputs;
+  std::vector<std::future<std::vector<Tensor>>> futures;
+
+  // With the session held, the worker coalesces a full batch of 4 and wedges
+  // at checkout; the other 4 queue behind it and form the second batch.
+  SessionPool::Lease stall = server.session_pool().acquire();
+  for (int r = 0; r < 8; ++r) {
+    inputs.push_back(random_request(*model, rng));
+    futures.push_back(server.submit(inputs.back()));
+  }
+  ASSERT_TRUE(eventually([&] { return server.stats().in_flight == 4; }));
+  stall.release();
+
+  runtime::Executor single(model->graph(1), {.use_arena = true});
+  for (int r = 0; r < 8; ++r) {
+    const auto got = futures[r].get();
+    const auto want = single.run(inputs[r]);
+    for (std::size_t o = 0; o < want.outputs.size(); ++o) {
+      EXPECT_EQ(max_abs_diff(got[o], want.outputs[o]), 0.0f)
+          << "request " << r << ": batching changed the bits";
+    }
+  }
+  server.shutdown(true);
+  const auto stats = server.stats();
+  EXPECT_EQ(stats.batches, 2u) << "8 requests at max_batch 4 must form exactly 2 batches";
+  EXPECT_EQ(stats.batched_requests, 8u);
+  EXPECT_EQ(stats.max_batch_seen, 4u);
+}
+
+TEST(ServerTest, InjectedKernelFaultFailsExactlyThatBatch) {
+  // check_numerics compiled into the sessions: the poisoned NaN surfaces as
+  // a NumericError naming the node, which must land on every request of the
+  // faulted batch and no other.
+  auto model = compile_zoo_model("alexnet", compile_options(4, /*check_numerics=*/true));
+  ServerOptions options;
+  options.workers = 1;
+  options.sessions = 1;
+  options.max_batch = 4;
+  options.batch_timeout = 2s;
+  Server server(model, options);
+
+  Rng rng(71);
+  const auto request = random_request(*model, rng);
+
+  SessionPool::Lease stall = server.session_pool().acquire();
+  std::vector<std::future<std::vector<Tensor>>> doomed;
+  for (int r = 0; r < 4; ++r) doomed.push_back(server.submit(request));
+  ASSERT_TRUE(eventually([&] { return server.stats().in_flight == 4; }));
+
+  {
+    failpoints::ScopedArm arm("kernels.poison_nan", 1);
+    stall.release();
+    for (auto& future : doomed) EXPECT_THROW(future.get(), NumericError);
+  }
+
+  // The worker, session, and server survive: the next batch is clean.
+  auto survivor = server.submit(request);
+  EXPECT_NO_THROW(survivor.get());
+  const auto stats = server.stats();
+  EXPECT_EQ(stats.failed, 4u);
+  EXPECT_EQ(stats.completed, 1u);
+}
+
+}  // namespace
+}  // namespace temco
