@@ -7,15 +7,26 @@
 // speedup column is a single-thread like-for-like comparison (the engine's
 // parallel block grid is bit-identical and comes on top).
 //
+// The engine rows run whatever kernel tier runtime dispatch selects
+// (TEMCO_KERNEL_ISA overrides; the active tier is printed and recorded per
+// row).  A guard refuses to publish numbers from a silent mis-dispatch: when
+// the hardware supports a vector tier but dispatch resolved to scalar without
+// TEMCO_KERNEL_ISA explicitly asking for it, the run exits 1.  The %-of-peak
+// column divides each row's throughput by a register-resident FMA probe of
+// the same tier (gemm::peak_probe_iters) — the per-core ceiling the machine
+// can reach with this instruction mix.
+//
 // Emits a human table on stdout and a machine-readable JSON array (default
 // BENCH_kernels.json, override with --json PATH) with one row per
 // (kernel, shape, variant):
-//   {"kernel", "shape", "variant", "ns_per_iter", "gflops", "speedup_vs_naive"}
+//   {"kernel", "shape", "variant", "isa", "ns_per_iter", "gflops",
+//    "speedup_vs_naive", "pct_peak"}
 //
 // Flags: --min-ms N   measurement window per variant (default 80)
 //        --json PATH  output path (default BENCH_kernels.json)
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 #include <vector>
@@ -24,6 +35,7 @@
 #include "kernels/kernels.hpp"
 #include "kernels/naive.hpp"
 #include "linalg/matmul.hpp"
+#include "support/cpu.hpp"
 #include "support/rng.hpp"
 #include "support/timer.hpp"
 #include "tensor/tensor.hpp"
@@ -38,6 +50,7 @@ namespace kernels = temco::kernels;
 namespace gemm = temco::kernels::gemm;
 
 double g_min_ms = 80.0;
+double g_peak_gflops = 0.0;  ///< active tier's register-resident FMA ceiling
 
 struct Row {
   std::string kernel;
@@ -45,10 +58,48 @@ struct Row {
   std::string variant;
   double ns_per_iter = 0.0;
   double gflops = 0.0;
-  double speedup = 1.0;  ///< vs the naive variant of the same (kernel, shape)
+  double speedup = 1.0;   ///< vs the naive variant of the same (kernel, shape)
+  double pct_peak = 0.0;  ///< gflops as % of the tier's peak-probe ceiling
 };
 
 std::vector<Row> g_rows;
+
+/// Single-core ceiling of the active tier: a register-resident FMA chain loop
+/// (gemm_dispatch peak_probe), timed like any other case.  Every row's
+/// %-of-peak divides by this, so the column answers "how much of what this
+/// machine could do at this ISA does the kernel capture".
+double measure_peak_gflops() {
+  std::int64_t iters = 1 << 14;
+  for (;;) {  // calibrate to a stable window
+    Timer timer;
+    gemm::peak_probe_iters(iters);
+    if (timer.elapsed_ms() >= 20.0 || iters >= (std::int64_t{1} << 34)) break;
+    iters *= 4;
+  }
+  Timer timer;
+  gemm::peak_probe_iters(iters);
+  return gemm::peak_probe_flops_per_iter() * static_cast<double>(iters) /
+         (timer.elapsed_seconds() * 1e9);
+}
+
+/// Refuses to publish numbers from a silent mis-dispatch: hardware with a
+/// vector tier must actually run one unless TEMCO_KERNEL_ISA=scalar asked for
+/// the oracle on purpose.
+void check_dispatch_or_die() {
+  using temco::support::Isa;
+  const bool vector_capable =
+      temco::support::isa_runnable(Isa::kAvx2) || temco::support::isa_runnable(Isa::kAvx512);
+  const char* env = std::getenv("TEMCO_KERNEL_ISA");
+  const bool scalar_requested = env != nullptr && std::string(env) == "scalar";
+  if (vector_capable && !scalar_requested && gemm::active_isa() == Isa::kScalar) {
+    std::fprintf(stderr,
+                 "kernels_micro: this machine supports a vector tier but dispatch "
+                 "resolved to scalar (TEMCO_KERNEL_ISA=%s); refusing to publish "
+                 "misleading numbers\n",
+                 env != nullptr ? env : "<unset>");
+    std::exit(1);
+  }
+}
 
 /// Times fn (one warmup call, then iterations until the window elapses) and
 /// records a table/JSON row.  Returns ns/iter so callers can compute speedups.
@@ -70,9 +121,10 @@ double bench_case(const std::string& kernel, const std::string& shape, const std
   row.ns_per_iter = ns;
   row.gflops = flops_per_iter / ns;  // flops/ns == Gflop/s
   row.speedup = naive_ns > 0.0 ? naive_ns / ns : 1.0;
+  row.pct_peak = g_peak_gflops > 0.0 ? 100.0 * row.gflops / g_peak_gflops : 0.0;
   g_rows.push_back(row);
-  std::printf("%-10s %-22s %-12s %12.0f ns  %7.2f GFLOP/s  %5.2fx\n", kernel.c_str(),
-              shape.c_str(), variant.c_str(), ns, row.gflops, row.speedup);
+  std::printf("%-10s %-22s %-12s %12.0f ns  %7.2f GFLOP/s  %5.2fx  %5.1f%%\n", kernel.c_str(),
+              shape.c_str(), variant.c_str(), ns, row.gflops, row.speedup, row.pct_peak);
   return ns;
 }
 
@@ -137,7 +189,10 @@ void conv_dense() {
   const Case cases[] = {
       {32, 32, 32, 3, 1, 1},
       {16, 64, 32, 3, 1, 1},
-      {32, 32, 32, 3, 2, 1},
+      {32, 32, 32, 3, 2, 1},   // strided 3x3: implicit-GEMM (im2col) path
+      {64, 64, 16, 3, 2, 1},   // deep strided 3x3, small plane
+      {16, 32, 32, 5, 2, 2},   // 5x5 stride-2: wide im2col k-dimension
+      {32, 64, 32, 7, 2, 3},   // 7x7 stride-2: the classic input stem
   };
   for (const Case& c : cases) {
     const std::int64_t h_out = (c.side + 2 * c.pad - c.k) / c.stride + 1;
@@ -161,7 +216,10 @@ void conv_dense() {
       packed.resize(static_cast<std::size_t>(pf));
       kernels::conv2d_prepack(w, c.stride, c.stride, packed.data());
     }
-    bench_case("conv2d", shape, pf > 0 ? "shifted-gemm" : "tiled", flops, naive_ns, [&] {
+    // stride 1 lowers to kh*kw shifted GEMMs over prepacked per-tap panels;
+    // strided convs lower to one implicit GEMM over an im2col column matrix.
+    const char* variant = pf == 0 ? "tiled" : (c.stride > 1 ? "im2col-gemm" : "shifted-gemm");
+    bench_case("conv2d", shape, variant, flops, naive_ns, [&] {
       kernels::conv2d(x, w, b, c.stride, c.stride, c.pad, c.pad, out,
                       packed.empty() ? nullptr : packed.data());
     });
@@ -232,9 +290,11 @@ void write_json(const char* path) {
     const Row& r = g_rows[i];
     std::fprintf(f,
                  "  {\"kernel\": \"%s\", \"shape\": \"%s\", \"variant\": \"%s\", "
-                 "\"ns_per_iter\": %.1f, \"gflops\": %.3f, \"speedup_vs_naive\": %.3f}%s\n",
-                 r.kernel.c_str(), r.shape.c_str(), r.variant.c_str(), r.ns_per_iter, r.gflops,
-                 r.speedup, i + 1 < g_rows.size() ? "," : "");
+                 "\"isa\": \"%s\", \"ns_per_iter\": %.1f, \"gflops\": %.3f, "
+                 "\"speedup_vs_naive\": %.3f, \"pct_peak\": %.1f}%s\n",
+                 r.kernel.c_str(), r.shape.c_str(), r.variant.c_str(), gemm::active_isa_name(),
+                 r.ns_per_iter, r.gflops, r.speedup, r.pct_peak,
+                 i + 1 < g_rows.size() ? "," : "");
   }
   std::fprintf(f, "]\n");
   std::fclose(f);
@@ -255,8 +315,12 @@ int main(int argc, char** argv) {
       return 2;
     }
   }
-  std::printf("%-10s %-22s %-12s %15s  %15s  %8s\n", "kernel", "shape", "variant", "time",
-              "throughput", "vs naive");
+  check_dispatch_or_die();
+  g_peak_gflops = measure_peak_gflops();
+  std::printf("kernel isa: %s   machine peak (FMA probe): %.2f GFLOP/s\n\n",
+              gemm::active_isa_name(), g_peak_gflops);
+  std::printf("%-10s %-22s %-12s %15s  %15s  %8s  %6s\n", "kernel", "shape", "variant", "time",
+              "throughput", "vs naive", "peak");
   conv1x1_zoo();
   conv_dense();
   matmul_cases();

@@ -115,6 +115,94 @@ void conv2d_unit_stride(const Tensor& x, const Tensor& w, const Tensor& b, std::
       });
 }
 
+/// Per-thread im2col scratch for the strided GEMM path.  Grows monotonically
+/// to the largest c_in·kh·kw × w_out column matrix a thread has built and is
+/// then reused for every subsequent output row, so steady-state inference
+/// performs no allocation (the arena executor's zero-steady-state-malloc
+/// property holds after the first pass over each shape).
+float* im2col_buffer(std::int64_t floats) {
+  thread_local std::vector<float> buf;
+  if (buf.size() < static_cast<std::size_t>(floats)) {
+    buf.resize(static_cast<std::size_t>(floats));
+  }
+  return buf.data();
+}
+
+/// Strided K×K convolution as implicit GEMM: one task per output row (n, oh)
+/// materializes the row's column matrix col[ck, w_out] with ck = c_in·kh·kw —
+/// col[(ci·kh+r)·kw+s, ow] = x[ci, oh·sh−ph+r, ow·sw−pw+s], zero outside the
+/// input — and multiplies it by the flattened weight W[c_out, ck] packed as a
+/// single GEMM panel set.  Row order (ci, r, s) matches the weight's native
+/// column order, so packing the weight is a plain pack_a of the 2-D view.
+/// Accumulation order per output element is ascending ck per the GEMM strip
+/// contract — geometry-only, bit-deterministic across thread counts.
+void conv2d_im2col_strided(const Tensor& x, const Tensor& w, const Tensor& b,
+                           std::int64_t stride_h, std::int64_t stride_w, std::int64_t pad_h,
+                           std::int64_t pad_w, Tensor& out, const float* prepacked) {
+  const std::int64_t n_batch = x.shape()[0];
+  const std::int64_t c_in = x.shape()[1];
+  const std::int64_t h_in = x.shape()[2];
+  const std::int64_t w_in = x.shape()[3];
+  const std::int64_t c_out = out.shape()[1];
+  const std::int64_t h_out = out.shape()[2];
+  const std::int64_t w_out = out.shape()[3];
+  const std::int64_t kh = w.shape()[2];
+  const std::int64_t kw = w.shape()[3];
+  const std::int64_t ck = c_in * kh * kw;
+
+  std::vector<float> local;
+  if (prepacked == nullptr) {
+    local.resize(static_cast<std::size_t>(gemm::packed_a_floats(c_out, ck)));
+    gemm::pack_a(w.data(), ck, 1, c_out, ck, local.data());
+    prepacked = local.data();
+  }
+  const float* px = x.data();
+  const float* pb = b.data();
+  float* po = out.data();
+
+  parallel_for_2d(
+      static_cast<std::size_t>(n_batch * h_out), static_cast<std::size_t>(ck * w_out),
+      [&](std::size_t task, std::size_t, std::size_t) {
+        const std::int64_t n = static_cast<std::int64_t>(task) / h_out;
+        const std::int64_t oh = static_cast<std::int64_t>(task) % h_out;
+        float* col = im2col_buffer(ck * w_out);
+        const float* xbase = px + n * c_in * h_in * w_in;
+        for (std::int64_t ci = 0; ci < c_in; ++ci) {
+          const float* xmap = xbase + ci * h_in * w_in;
+          for (std::int64_t r = 0; r < kh; ++r) {
+            const std::int64_t ih = oh * stride_h - pad_h + r;
+            float* crow0 = col + ((ci * kh + r) * kw) * w_out;
+            if (ih < 0 || ih >= h_in) {
+              std::fill(crow0, crow0 + kw * w_out, 0.0f);
+              continue;
+            }
+            const float* xrow = xmap + ih * w_in;
+            for (std::int64_t s = 0; s < kw; ++s) {
+              float* crow = crow0 + s * w_out;
+              const std::int64_t base = s - pad_w;  // iw = ow·sw + base
+              std::int64_t ow_lo = 0;
+              if (base < 0) ow_lo = (-base + stride_w - 1) / stride_w;
+              std::int64_t ow_hi = w_out;
+              if (base + (w_out - 1) * stride_w >= w_in) {
+                ow_hi = (w_in - base + stride_w - 1) / stride_w;
+              }
+              std::fill(crow, crow + ow_lo, 0.0f);
+              for (std::int64_t ow = ow_lo; ow < ow_hi; ++ow) {
+                crow[ow] = xrow[ow * stride_w + base];
+              }
+              std::fill(crow + std::max(ow_lo, ow_hi), crow + w_out, 0.0f);
+            }
+          }
+        }
+        gemm::GemmOptions options;
+        options.bias = pb;
+        options.init = gemm::Init::kRowBias;
+        options.parallel = false;  // already inside the (n, oh) task grid
+        gemm::gemm_packed(prepacked, c_out, ck, col, w_out, w_out,
+                          po + n * c_out * h_out * w_out + oh * w_out, h_out * w_out, options);
+      });
+}
+
 /// Strided fallback: direct loop, register-tiled over kCoTile output maps.
 void conv2d_strided(const Tensor& x, const Tensor& w, const Tensor& b, std::int64_t stride_h,
                     std::int64_t stride_w, std::int64_t pad_h, std::int64_t pad_w, Tensor& out) {
@@ -197,23 +285,32 @@ void conv2d_strided(const Tensor& x, const Tensor& w, const Tensor& b, std::int6
 
 std::int64_t conv2d_prepack_floats(const Tensor& w, std::int64_t stride_h, std::int64_t stride_w,
                                    std::int64_t w_out) {
-  if (stride_h != 1 || stride_w != 1) return 0;  // strided path reads w in place
   const std::int64_t c_out = w.shape()[0];
   const std::int64_t c_in = w.shape()[1];
   const std::int64_t kh = w.shape()[2];
   const std::int64_t kw = w.shape()[3];
   // Dense taps on outputs narrower than one register tile dispatch to the
-  // tiled path (see conv2d below), which reads w in place.
+  // tiled paths (see conv2d below), which read w in place.
   if ((kh != 1 || kw != 1) && w_out < gemm::kNR) return 0;
+  if (stride_h != 1 || stride_w != 1) {
+    // Strided im2col-GEMM: one panel set over the flattened W[c_out, ck].
+    return gemm::packed_a_floats(c_out, c_in * kh * kw);
+  }
   return kh * kw * gemm::packed_a_floats(c_out, c_in);
 }
 
 void conv2d_prepack(const Tensor& w, std::int64_t stride_h, std::int64_t stride_w, float* out) {
-  TEMCO_CHECK(stride_h == 1 && stride_w == 1) << "no packed layout for strided conv";
   const std::int64_t c_out = w.shape()[0];
   const std::int64_t c_in = w.shape()[1];
   const std::int64_t kh = w.shape()[2];
   const std::int64_t kw = w.shape()[3];
+  if (stride_h != 1 || stride_w != 1) {
+    // Strided im2col-GEMM layout: the flattened 2-D weight view W[c_out, ck]
+    // (native row-major order) packed as one panel set.
+    const std::int64_t ck = c_in * kh * kw;
+    gemm::pack_a(w.data(), ck, 1, c_out, ck, out);
+    return;
+  }
   const std::int64_t panel_floats = gemm::packed_a_floats(c_out, c_in);
   // One panel set per tap: entry (r,s) packs the weight slice W[:,:,r,s],
   // whose (co, ci) element sits at stride (c_in·kh·kw, kh·kw) from w+r·kw+s.
@@ -231,17 +328,20 @@ void conv2d(const Tensor& x, const Tensor& w, const Tensor& b, std::int64_t stri
   const std::int64_t kh = w.shape()[2];
   const std::int64_t kw = w.shape()[3];
   TEMCO_CHECK(x.shape()[1] == w.shape()[1]) << "conv2d channel mismatch";
-  // Shifted-GEMM wins when output rows are at least one register tile wide;
-  // narrower maps pay more in per-tap GEMM call setup than the tile earns, so
-  // they keep the direct tiled loop.  The choice is geometry-only and must
-  // stay in lockstep with conv2d_prepack_floats so a packed blob exists
-  // exactly when the GEMM path consumes it.
-  const bool gemm_path = stride_h == 1 && stride_w == 1 &&
-                         ((kh == 1 && kw == 1) || out.shape()[3] >= gemm::kNR);
+  // GEMM paths win when output rows are at least one register tile wide;
+  // narrower maps pay more in per-call setup than the tile earns, so they
+  // keep the direct tiled loop.  Stride 1 uses the buffer-free shifted GEMM;
+  // other strides materialize per-row im2col columns (implicit GEMM).  The
+  // choice is geometry-only and must stay in lockstep with
+  // conv2d_prepack_floats so a packed blob exists exactly when a GEMM path
+  // consumes it.
+  const bool wide_enough = (kh == 1 && kw == 1) || out.shape()[3] >= gemm::kNR;
   if (is_pointwise(kh, kw, stride_h, stride_w, pad_h, pad_w)) {
     conv1x1(x, w, b, out, prepacked);
-  } else if (gemm_path) {
+  } else if (stride_h == 1 && stride_w == 1 && wide_enough) {
     conv2d_unit_stride(x, w, b, pad_h, pad_w, out, prepacked);
+  } else if (wide_enough) {
+    conv2d_im2col_strided(x, w, b, stride_h, stride_w, pad_h, pad_w, out, prepacked);
   } else {
     conv2d_strided(x, w, b, stride_h, stride_w, pad_h, pad_w, out);
   }

@@ -3,10 +3,16 @@
 #include "kernels/gemm.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <cstdlib>
 #include <limits>
+#include <memory>
 
+#include "kernels/gemm_dispatch.hpp"
 #include "parallel/parallel_for.hpp"
 #include "support/check.hpp"
+#include "support/failpoint.hpp"
+#include "support/log.hpp"
 
 namespace temco::kernels::gemm {
 
@@ -169,6 +175,165 @@ void run_block(const float* a, std::int64_t lda, std::int64_t k, const float* b,
   }
 }
 
+// ---- ISA dispatch registry --------------------------------------------------
+
+/// Simulates an unsupported-ISA condition at dispatch time: while armed,
+/// every resolution degrades to the scalar oracle with a logged warning —
+/// the graceful-fallback contract tests/test_gemm_simd.cpp verifies.
+failpoints::Site fp_dispatch{"gemm.dispatch"};
+
+/// Scalar tier wrappers around the register-tiled oracle above.
+void scalar_block_packed(const float* a, std::int64_t k, const float* b, std::int64_t ldb,
+                         float* c, std::int64_t ldc, const float* bias, Init init,
+                         std::int64_t i0, std::int64_t mb, std::int64_t j0, std::int64_t nb) {
+  run_block<true>(a, 0, k, b, ldb, c, ldc, bias, init, i0, mb, j0, nb);
+}
+
+void scalar_block_direct(const float* a, std::int64_t lda, std::int64_t k, const float* b,
+                         std::int64_t ldb, float* c, std::int64_t ldc, const float* bias,
+                         Init init, std::int64_t i0, std::int64_t mb, std::int64_t j0,
+                         std::int64_t nb) {
+  run_block<false>(a, lda, k, b, ldb, c, ldc, bias, init, i0, mb, j0, nb);
+}
+
+/// Scalar peak probe: 16 independent mul-add chains.  The compiler may SLP-
+/// vectorize them to the build's baseline width, so this measures the peak of
+/// "what the oracle path could theoretically do", not one lane.
+void scalar_peak_probe(std::int64_t iters) {
+  float x[16];
+  for (int i = 0; i < 16; ++i) x[i] = 1.0f + 1e-7f * static_cast<float>(i);
+  for (std::int64_t it = 0; it < iters; ++it) {
+    for (int i = 0; i < 16; ++i) x[i] = x[i] * 0.999999f + 1e-9f;
+  }
+  volatile float sink = x[0] + x[15];
+  (void)sink;
+}
+
+const detail::KernelOps kScalarOps = {
+    Isa::kScalar, "scalar", &scalar_block_packed, &scalar_block_direct, &scalar_peak_probe,
+    16.0 * 2.0,
+};
+
+/// The tier table for `isa`, or nullptr when that tier is not compiled into
+/// this binary.
+const detail::KernelOps* compiled_ops(Isa isa) {
+  switch (isa) {
+    case Isa::kScalar: return &kScalarOps;
+    case Isa::kAvx2: return detail::avx2_ops();
+    case Isa::kAvx512: return detail::avx512_ops();
+    case Isa::kNeon: return detail::neon_ops();
+  }
+  return nullptr;
+}
+
+/// Best tier at or below `want` that is both compiled in and runnable on this
+/// CPU.  Always terminates at scalar.
+const detail::KernelOps* best_ops_at_or_below(Isa want) {
+  for (auto isa = static_cast<int>(want); isa > 0; --isa) {
+    const detail::KernelOps* ops = compiled_ops(static_cast<Isa>(isa));
+    if (ops != nullptr && support::isa_runnable(ops->isa)) return ops;
+  }
+  return &kScalarOps;
+}
+
+/// One-time resolution: detected hardware tier ∧ compiled-in tiers ∧ the
+/// TEMCO_KERNEL_ISA override, with clamp-and-warn on unsatisfiable requests.
+const detail::KernelOps* resolve_ops() {
+  Isa want = support::detected_isa();
+  if (const char* env = std::getenv("TEMCO_KERNEL_ISA")) {
+    if (const auto requested = support::parse_isa(env)) {
+      want = *requested;
+    } else {
+      TEMCO_WARN() << "gemm: unrecognized TEMCO_KERNEL_ISA='" << env
+                   << "' (want scalar|avx2|avx512|neon|native); using native dispatch";
+    }
+  }
+  const detail::KernelOps* ops = best_ops_at_or_below(want);
+  if (ops->isa != want) {
+    TEMCO_WARN() << "gemm: requested '" << support::isa_name(want)
+                 << "' micro-kernels are not available on this machine/build; degrading to '"
+                 << ops->name << "'";
+  }
+  TEMCO_INFO() << "gemm: dispatching " << ops->name << " micro-kernels (detected "
+               << support::isa_name(support::detected_isa()) << ", pack layout v"
+               << kPackLayoutVersion << ")";
+  return ops;
+}
+
+/// ScopedIsa override stack top (nullptr = none).  Plain atomic: overrides
+/// are a test-harness feature and documented as process-global.
+std::atomic<const detail::KernelOps*> g_isa_override{nullptr};
+
+const detail::KernelOps& active_ops() {
+  if (fp_dispatch.fire()) {
+    TEMCO_WARN() << "gemm: dispatch found no supported vector ISA "
+                 << "(gemm.dispatch failpoint); degrading to scalar micro-kernels";
+    return kScalarOps;
+  }
+  if (const detail::KernelOps* forced = g_isa_override.load(std::memory_order_acquire)) {
+    return *forced;
+  }
+  static const detail::KernelOps* resolved = resolve_ops();
+  return *resolved;
+}
+
+}  // namespace
+
+namespace detail {
+
+float* lane_pack_buffer() {
+  // One kMC×kKC strip per ThreadPool lane; a lane is pinned to one OS thread
+  // for the duration of a fork-join batch, so thread_local storage *is*
+  // per-lane storage — and it survives across pools (global, inter-op,
+  // per-session) without any registry.  Allocated once per thread, which
+  // preserves the arena executor's zero-steady-state-allocation property.
+  struct Aligned {
+    float* data;
+    Aligned() : data(static_cast<float*>(std::aligned_alloc(64, kMC * kKC * sizeof(float)))) {
+      TEMCO_CHECK(data != nullptr) << "gemm: lane pack buffer allocation failed";
+    }
+    ~Aligned() { std::free(data); }
+  };
+  thread_local Aligned buffer;
+  return buffer.data;
+}
+
+const KernelOps* scalar_ops() { return &kScalarOps; }
+
+}  // namespace detail
+
+Isa active_isa() { return active_ops().isa; }
+
+const char* active_isa_name() { return active_ops().name; }
+
+std::vector<Isa> reachable_isas() {
+  std::vector<Isa> result;
+  for (const Isa isa : {Isa::kScalar, Isa::kAvx2, Isa::kAvx512, Isa::kNeon}) {
+    const detail::KernelOps* ops = compiled_ops(isa);
+    if (ops != nullptr && support::isa_runnable(isa)) result.push_back(isa);
+  }
+  return result;
+}
+
+ScopedIsa::ScopedIsa(Isa isa) : previous_(g_isa_override.load(std::memory_order_acquire)) {
+  const detail::KernelOps* ops = compiled_ops(isa);
+  TEMCO_CHECK(ops != nullptr && support::isa_runnable(isa))
+      << "ScopedIsa: '" << support::isa_name(isa)
+      << "' is not reachable on this machine/build (see gemm::reachable_isas)";
+  g_isa_override.store(ops, std::memory_order_release);
+}
+
+ScopedIsa::~ScopedIsa() {
+  g_isa_override.store(static_cast<const detail::KernelOps*>(previous_),
+                       std::memory_order_release);
+}
+
+void peak_probe_iters(std::int64_t iters) { active_ops().peak_probe(iters); }
+
+double peak_probe_flops_per_iter() { return active_ops().probe_flops_per_iter; }
+
+namespace {
+
 template <bool Packed>
 void gemm_impl(const float* a, std::int64_t lda, std::int64_t m, std::int64_t k, const float* b,
                std::int64_t ldb, std::int64_t n, float* c, std::int64_t ldc,
@@ -178,6 +343,20 @@ void gemm_impl(const float* a, std::int64_t lda, std::int64_t m, std::int64_t k,
               options.bias != nullptr)
       << "gemm: bias init requested without a bias vector";
   if (m == 0 || n == 0 || options.batch == 0) return;
+  // One dispatch resolution per call: every block of this call — across all
+  // its tasks and threads — runs the same tier, so a concurrent override
+  // cannot split one GEMM across tiers.
+  const detail::KernelOps& ops = active_ops();
+  const auto block = [&ops](const float* ba, std::int64_t blda, std::int64_t bk, const float* bb,
+                            std::int64_t bldb, float* bc, std::int64_t bldc, const float* bias,
+                            Init init, std::int64_t i0, std::int64_t mb, std::int64_t j0,
+                            std::int64_t nb) {
+    if constexpr (Packed) {
+      ops.run_block_packed(ba, bk, bb, bldb, bc, bldc, bias, init, i0, mb, j0, nb);
+    } else {
+      ops.run_block_direct(ba, blda, bk, bb, bldb, bc, bldc, bias, init, i0, mb, j0, nb);
+    }
+  };
 
   // Fixed task grid: batch × row blocks × column blocks.  The grid depends
   // only on geometry, so results are identical for any thread count.
@@ -191,8 +370,8 @@ void gemm_impl(const float* a, std::int64_t lda, std::int64_t m, std::int64_t k,
     // much as the arithmetic.  The fault-injection hook still fires exactly
     // as parallel_for's serial path would, and the dispatch depends only on
     // geometry, so determinism across thread counts is unaffected.
-    detail::maybe_inject_task_fault(0);
-    run_block<Packed>(a, lda, k, b, ldb, c, ldc, options.bias, options.init, 0, m, 0, n);
+    temco::detail::maybe_inject_task_fault(0);
+    block(a, lda, k, b, ldb, c, ldc, options.bias, options.init, 0, m, 0, n);
     return;
   }
   const auto body = [&](std::size_t task) {
@@ -202,9 +381,8 @@ void gemm_impl(const float* a, std::int64_t lda, std::int64_t m, std::int64_t k,
     const std::int64_t jb = t % col_blocks;
     const std::int64_t i0 = ib * kMC;
     const std::int64_t j0 = jb * kNC;
-    run_block<Packed>(a, lda, k, b + bi * options.b_batch_stride, ldb,
-                      c + bi * options.c_batch_stride, ldc, options.bias, options.init, i0,
-                      std::min(kMC, m - i0), j0, std::min(kNC, n - j0));
+    block(a, lda, k, b + bi * options.b_batch_stride, ldb, c + bi * options.c_batch_stride, ldc,
+          options.bias, options.init, i0, std::min(kMC, m - i0), j0, std::min(kNC, n - j0));
   };
   // Serial mode raises the grain above the task count instead of bypassing
   // parallel_for, so fault-injection hooks fire on either path.

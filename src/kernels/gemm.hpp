@@ -21,15 +21,30 @@
 //     thread count.
 //   * Packing is a pure relayout: packed and direct A produce bit-identical
 //     results for the same geometry.
+//
+// ISA dispatch (PR 6): the inner block kernel is selected at runtime from the
+// tiers compiled into the binary — scalar (the always-on differential
+// oracle), AVX2/FMA, AVX-512 — intersected with what the CPU reports
+// (support/cpu.hpp) and with the TEMCO_KERNEL_ISA environment override.  The
+// fixed task grid, packing layout, and accumulation *order* are shared by
+// every tier, so the determinism contract above holds per tier; across tiers
+// results differ only by FMA contraction and are ULP-bounded against the
+// scalar oracle (bit-compatibility policy, DESIGN.md; enforced by
+// tests/test_gemm_simd.cpp).
 #pragma once
 
 #include <cstdint>
+#include <vector>
+
+#include "support/cpu.hpp"
 
 namespace temco {
 class ThreadPool;
 }
 
 namespace temco::kernels::gemm {
+
+using support::Isa;
 
 /// Register tile: kMR accumulator rows × kNR columns.  4×8 holds the
 /// accumulator block in 8 XMM registers on baseline x86-64 (4 YMM with AVX),
@@ -44,6 +59,50 @@ inline constexpr std::int64_t kNR = 8;
 inline constexpr std::int64_t kKC = 256;
 inline constexpr std::int64_t kMC = 32;
 inline constexpr std::int64_t kNC = 512;
+
+/// Version of the packed-panel layout (kMR-row, k-major, zero-padded).  The
+/// layout is deliberately identical for every ISA tier — a blob packed once
+/// serves scalar, AVX2, and AVX-512 kernels alike — so serving artifacts
+/// stamp this version (serve::CompiledModel) and re-validate it on load; a
+/// future layout change bumps it and invalidates stale artifacts instead of
+/// silently misreading panels.
+inline constexpr std::uint32_t kPackLayoutVersion = 1;
+
+// ---- runtime ISA dispatch ---------------------------------------------------
+
+/// The tier the next GEMM call will dispatch to: compiled-in ∧ CPU-supported
+/// ∧ TEMCO_KERNEL_ISA (∧ any ScopedIsa override; ∧ the gemm.dispatch
+/// failpoint, which forces scalar while armed).  TEMCO_KERNEL_ISA accepts
+/// scalar|avx2|avx512|neon|native; requesting a tier above what the machine
+/// or build supports logs a warning and clamps down — never a crash.
+Isa active_isa();
+const char* active_isa_name();
+
+/// Every tier this process can actually execute, ascending (always contains
+/// kScalar).  The differential harness sweeps exactly this set.
+std::vector<Isa> reachable_isas();
+
+/// Scoped dispatch override for differential tests: forces `isa` (which must
+/// be in reachable_isas()) for the scope's lifetime, then restores the prior
+/// state.  Packed blobs stay valid across the switch — the layout is
+/// ISA-independent.  Overrides nest; they are process-global, so do not run
+/// concurrent GEMMs expecting different tiers.
+class ScopedIsa {
+ public:
+  explicit ScopedIsa(Isa isa);
+  ~ScopedIsa();
+  ScopedIsa(const ScopedIsa&) = delete;
+  ScopedIsa& operator=(const ScopedIsa&) = delete;
+
+ private:
+  const void* previous_;
+};
+
+/// Register-resident FMA peak probe of the active tier, for the
+/// %-of-machine-peak column in bench/kernels_micro: peak_probe_iters(n)
+/// performs n * peak_probe_flops_per_iter floating-point operations.
+void peak_probe_iters(std::int64_t iters);
+double peak_probe_flops_per_iter();
 
 /// Floats pack_a writes for an m×k matrix: m rounded up to whole kMR panels.
 std::int64_t packed_a_floats(std::int64_t m, std::int64_t k);

@@ -1,0 +1,14 @@
+// NEON tier placeholder.  aarch64 hosts are detected by support/cpu.hpp
+// (Isa::kNeon) but the vector micro-kernels for that tier are not implemented
+// yet, so dispatch resolves to the scalar oracle there — graceful degradation
+// rather than a build break.  When the tier lands, this TU will define V4
+// traits (float32x4_t, vfmaq_f32, 4-lane masks via vbsl) over
+// gemm_vec_common.hpp exactly like the AVX TUs; the dispatch machinery,
+// differential harness, and bit-compatibility policy already account for it.
+#include "kernels/gemm_dispatch.hpp"
+
+namespace temco::kernels::gemm::detail {
+
+const KernelOps* neon_ops() { return nullptr; }
+
+}  // namespace temco::kernels::gemm::detail

@@ -29,14 +29,16 @@ void conv2d(const Tensor& x, const Tensor& w, const Tensor& b, std::int64_t stri
             const float* prepacked = nullptr);
 
 /// Floats of prepack storage conv2d wants for weight w at the given strides
-/// and output width.  Zero means the geometry has no packed form: strided
-/// convs read w in place, and dense stride-1 taps on outputs narrower than a
-/// register tile dispatch to the tiled loop instead of shifted GEMMs.
+/// and output width.  Zero means the geometry has no packed form: dense taps
+/// on outputs narrower than a register tile dispatch to the tiled loop, which
+/// reads w in place, instead of a GEMM path.
 std::int64_t conv2d_prepack_floats(const Tensor& w, std::int64_t stride_h, std::int64_t stride_w,
                                    std::int64_t w_out);
 
-/// Packs w into `out` (conv2d_prepack_floats(w, ...) floats, stride-1 only):
-/// one GEMM panel set per kernel tap, taps in (r,s) order.
+/// Packs w into `out` (conv2d_prepack_floats(w, ...) floats).  Stride 1: one
+/// GEMM panel set per kernel tap, taps in (r,s) order, for the shifted-GEMM
+/// path.  Strided: the flattened W[c_out, c_in·kh·kw] view as a single panel
+/// set, for the im2col implicit-GEMM path.
 void conv2d_prepack(const Tensor& w, std::int64_t stride_h, std::int64_t stride_w, float* out);
 
 /// Depthwise convolution.  w: [C,1,Kh,Kw].

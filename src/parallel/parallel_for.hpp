@@ -17,8 +17,37 @@ struct ParallelOptions {
   /// Minimum number of iterations per chunk; below `grain` total the loop
   /// runs serially on the caller.
   std::size_t grain = 1024;
-  /// Pool to run on; nullptr selects the process-global pool.
+  /// Pool to run on; nullptr selects the calling thread's scoped intra-op
+  /// pool (ScopedIntraOpPool) if one is installed, else the process-global
+  /// pool.
   ThreadPool* pool = nullptr;
+};
+
+/// Thread-local intra-op pool override: while alive, parallel loops on this
+/// thread that did not name a pool explicitly run on `pool` instead of the
+/// process-global pool (nullptr = keep/restore the default).  The executor
+/// installs one around node execution to honor its configured intra-op width
+/// (ExecutorOptions::intra_op_threads) without threading a pool pointer
+/// through every kernel signature.  Scopes nest and restore on destruction.
+/// Thread-local on purpose: each inter-op lane of a wavefront executor
+/// installs its own scope, so overrides never leak across lanes.
+class ScopedIntraOpPool {
+ public:
+  explicit ScopedIntraOpPool(ThreadPool* pool) : previous_(current()) { current() = pool; }
+  ~ScopedIntraOpPool() { current() = previous_; }
+  ScopedIntraOpPool(const ScopedIntraOpPool&) = delete;
+  ScopedIntraOpPool& operator=(const ScopedIntraOpPool&) = delete;
+
+  /// The pool unqualified parallel loops on this thread currently resolve
+  /// to; nullptr = the process-global pool.
+  static ThreadPool* active() { return current(); }
+
+ private:
+  static ThreadPool*& current() {
+    thread_local ThreadPool* pool = nullptr;
+    return pool;
+  }
+  ThreadPool* previous_;
 };
 
 /// Invokes `body(begin, end)` over disjoint sub-ranges covering [0, count).
@@ -27,7 +56,8 @@ struct ParallelOptions {
 template <typename Body>
 void parallel_for_ranges(std::size_t count, const Body& body, ParallelOptions options = {}) {
   if (count == 0) return;
-  ThreadPool& pool = options.pool != nullptr ? *options.pool : ThreadPool::global();
+  ThreadPool* chosen = options.pool != nullptr ? options.pool : ScopedIntraOpPool::active();
+  ThreadPool& pool = chosen != nullptr ? *chosen : ThreadPool::global();
   const std::size_t grain = std::max<std::size_t>(1, options.grain);
   if (count <= grain || pool.concurrency() == 1) {
     detail::maybe_inject_task_fault(0);

@@ -9,6 +9,7 @@
 #include <limits>
 
 #include "kernels/kernels.hpp"
+#include "parallel/parallel_for.hpp"
 #include "runtime/planner.hpp"
 #include "support/align.hpp"
 #include "support/failpoint.hpp"
@@ -37,10 +38,14 @@ struct FusedScratch {
 /// Dispatches one node onto the kernel library.  `in` holds one tensor per
 /// node input, in order; both execution paths share this function so they
 /// cannot diverge behaviorally.  `prepacked` is the node's plan-time weight
-/// packing (nullptr when the node has none).
+/// packing (nullptr when the node has none).  `intra_pool`, when non-null, is
+/// installed as this thread's scoped intra-op pool for the duration of the
+/// kernel, honoring ExecutorOptions::intra_op_threads on every run path.
 void run_node(const ir::Node& node, const std::vector<const Tensor*>& in, Tensor& out,
-              const FusedScratch& scratch, const float* prepacked) {
+              const FusedScratch& scratch, const float* prepacked, ThreadPool* intra_pool) {
   using ir::OpKind;
+  ScopedIntraOpPool intra_scope(intra_pool != nullptr ? intra_pool
+                                                      : ScopedIntraOpPool::active());
   switch (node.kind) {
     case OpKind::kInput:
       TEMCO_FAIL() << "input nodes are not executed";
@@ -152,6 +157,13 @@ Executor::Executor(const ir::Graph& graph, ExecutorOptions options, const Execut
     // *intra*-op parallelism (kernels), and an inter-op node task must be
     // able to own a lane for its whole duration.
     inter_pool_ = std::make_unique<ThreadPool>(lanes_);
+  }
+  if (options_.intra_op_threads != 0) {
+    // Dedicated kernel-loop pool of the configured width; run_node installs
+    // it as the scoped intra-op pool so every kernel's internal parallel_for
+    // lands here instead of the process-global pool.  Width 1 degenerates to
+    // serial in-line execution (ThreadPool counts the caller as a lane).
+    intra_pool_ = std::make_unique<ThreadPool>(options_.intra_op_threads);
   }
   if (binding.prepack != nullptr) {
     TEMCO_CHECK_AS(binding.prepack->blobs.size() == graph_.size(), InvalidGraphError)
@@ -422,7 +434,7 @@ void Executor::run_reference(const std::vector<Tensor>& inputs, std::vector<Tens
         args.push_back(&t);
       }
       Tensor out(node.out_shape, allocator.allocate(node.out_shape.numel()));
-      run_node(node, args, out, FusedScratch{}, prepack_->blob(node.id));
+      run_node(node, args, out, FusedScratch{}, prepack_->blob(node.id), intra_pool_.get());
       check_node_output(node, out);
       values[slot] = std::move(out);
     }
@@ -469,7 +481,7 @@ void Executor::run_arena(const std::vector<Tensor>& inputs, std::vector<Tensor>&
       std::copy(inputs[pos].span().begin(), inputs[pos].span().end(),
                 bound_[slot].span().begin());
     } else {
-      run_node(node, args_[slot], bound_[slot], scratch, prepack_->blob(node.id));
+      run_node(node, args_[slot], bound_[slot], scratch, prepack_->blob(node.id), intra_pool_.get());
       check_node_output(node, bound_[slot]);
     }
     if (canaries && fp_oob_write.fire()) {
@@ -552,7 +564,7 @@ void Executor::run_wavefront(const std::vector<Tensor>& inputs, std::vector<Tens
       Tensor& dest = arena ? bound_[slot] : values[slot];
       std::copy(inputs[pos].span().begin(), inputs[pos].span().end(), dest.span().begin());
     } else if (arena) {
-      run_node(node, args_[slot], bound_[slot], scratch, prepack_->blob(id));
+      run_node(node, args_[slot], bound_[slot], scratch, prepack_->blob(id), intra_pool_.get());
       check_node_output(node, bound_[slot]);
     } else {
       std::vector<const Tensor*> args;
@@ -562,7 +574,7 @@ void Executor::run_wavefront(const std::vector<Tensor>& inputs, std::vector<Tens
         TEMCO_CHECK(t.defined()) << node.name << ": input " << i << " was freed too early";
         args.push_back(&t);
       }
-      run_node(node, args, values[slot], scratch, prepack_->blob(id));
+      run_node(node, args, values[slot], scratch, prepack_->blob(id), intra_pool_.get());
       check_node_output(node, values[slot]);
     }
     if (canaries && fp_oob_write.fire()) {

@@ -135,6 +135,17 @@ struct ExecutorOptions {
   /// composes with every guardrail above.
   std::size_t parallelism = 1;
 
+  /// Intra-op width: threads each *kernel* may spread its internal loops
+  /// (GEMM block grid, conv rows) across.  0 (default): kernels use the
+  /// process-global pool.  N ≥ 1: the executor owns a dedicated N-thread
+  /// pool and installs it (ScopedIntraOpPool) around every node it runs —
+  /// 1 pins kernels serial.  Results are bit-identical for any width: every
+  /// kernel's accumulation order is fixed by geometry, not thread count
+  /// (asserted in tests/test_parallel.cpp).  Composes with inter-op
+  /// `parallelism`: each wavefront lane installs the same intra-op pool, so
+  /// total concurrency is bounded by lanes × intra_op_threads.
+  std::size_t intra_op_threads = 0;
+
   /// Budget for concurrent-lifetime widening when parallelism != 1, as a
   /// multiple of the sequential planned peak (WavefrontOptions::memory_slack).
   double wavefront_memory_slack = 1.125;
@@ -205,6 +216,10 @@ class Executor {
   std::size_t lanes_ = 1;
   WavefrontPartition waves_;
   std::unique_ptr<ThreadPool> inter_pool_;
+
+  /// Dedicated kernel-loop pool (populated only when intra_op_threads != 0);
+  /// installed as the scoped intra-op pool around every run_node call.
+  std::unique_ptr<ThreadPool> intra_pool_;
 
   // ---- arena state (populated only when options_.use_arena) ---------------
   ArenaPlan plan_;

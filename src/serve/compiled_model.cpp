@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <utility>
 
+#include "kernels/gemm.hpp"
 #include "support/align.hpp"
+#include "support/log.hpp"
 
 namespace temco::serve {
 
@@ -46,6 +48,11 @@ std::shared_ptr<const CompiledModel> CompiledModel::compile(const ir::Graph& gra
   model->prepack_ = runtime::PackedWeights::build(model->variants_.front());
   model->weight_bytes_ = model->variants_.front().total_weight_bytes();
 
+  // Provenance stamp: which kernel tier compiled this artifact and which
+  // packed-panel layout its blobs use (revalidate_kernel_dispatch).
+  model->kernel_isa_ = kernels::gemm::active_isa();
+  model->pack_layout_version_ = kernels::gemm::kPackLayoutVersion;
+
   const ir::Graph& b1 = model->variants_.front();
   for (const ir::Node& node : b1.nodes()) {
     if (node.kind == ir::OpKind::kInput) model->input_shapes_.push_back(node.out_shape);
@@ -55,6 +62,20 @@ std::shared_ptr<const CompiledModel> CompiledModel::compile(const ir::Graph& gra
   }
 
   return model;
+}
+
+void CompiledModel::revalidate_kernel_dispatch() const {
+  TEMCO_CHECK_AS(pack_layout_version_ == kernels::gemm::kPackLayoutVersion, InvalidGraphError)
+      << "artifact packed weights use panel layout v" << pack_layout_version_
+      << " but this runtime expects v" << kernels::gemm::kPackLayoutVersion
+      << "; recompile the model";
+  const support::Isa active = kernels::gemm::active_isa();
+  if (active != kernel_isa_) {
+    TEMCO_WARN() << "kernel-isa-drift: artifact compiled under "
+                 << support::isa_name(kernel_isa_) << ", dispatch now resolves to "
+                 << support::isa_name(active)
+                 << "; packed layout is ISA-independent, results are ULP-compatible";
+  }
 }
 
 bool CompiledModel::compatible(const std::vector<Tensor>& inputs) const {

@@ -26,6 +26,7 @@
 #include "ir/graph.hpp"
 #include "runtime/arena.hpp"
 #include "runtime/executor.hpp"
+#include "support/cpu.hpp"
 
 namespace temco::serve {
 
@@ -46,6 +47,12 @@ struct CompileOptions {
   /// Guardrails baked into every session executor (see ExecutorOptions).
   bool check_numerics = false;
   bool arena_canaries = false;
+
+  /// Intra-op width baked into every session executor
+  /// (ExecutorOptions::intra_op_threads): 0 = kernels use the process-global
+  /// pool, N ≥ 1 = each session executor owns a dedicated N-thread kernel
+  /// pool.  Results are bit-identical for any width.
+  std::size_t intra_op_threads = 0;
 };
 
 class CompiledModel {
@@ -74,6 +81,26 @@ class CompiledModel {
   std::int64_t slab_bytes() const { return slab_bytes_; }
   std::int64_t packed_weight_bytes() const { return prepack_.bytes; }
   std::int64_t weight_bytes() const { return weight_bytes_; }
+
+  // ---- kernel-dispatch provenance stamp ------------------------------------
+
+  /// The GEMM ISA tier active when this artifact was compiled, and the packed
+  /// panel layout version its PackedWeights were built with.  The layout is
+  /// deliberately ISA-independent (gemm::kPackLayoutVersion), so an artifact
+  /// stays valid when dispatch later resolves to a different tier — the stamp
+  /// records provenance, and revalidation distinguishes the benign case (ISA
+  /// drift: logged, results ULP-compatible per the bit-compatibility policy)
+  /// from the fatal one (layout version mismatch: the blobs would be
+  /// misread).
+  support::Isa kernel_isa() const { return kernel_isa_; }
+  const char* kernel_isa_name() const { return support::isa_name(kernel_isa_); }
+  std::uint32_t pack_layout_version() const { return pack_layout_version_; }
+
+  /// Re-checks the stamp against the running process: throws
+  /// InvalidGraphError on a pack-layout version mismatch; logs a typed
+  /// warning when the active ISA tier differs from the compile-time one.
+  /// Sessions call this when they bind the artifact.
+  void revalidate_kernel_dispatch() const;
 
   // ---- request signature (batch-1 template shapes) -------------------------
 
@@ -107,6 +134,8 @@ class CompiledModel {
   runtime::PackedWeights prepack_;
   std::int64_t slab_bytes_ = 0;
   std::int64_t weight_bytes_ = 0;
+  support::Isa kernel_isa_ = support::Isa::kScalar;
+  std::uint32_t pack_layout_version_ = 0;
   std::vector<Shape> input_shapes_;   ///< batch-1 input templates, in input order
   std::vector<Shape> output_shapes_;  ///< batch-1 output templates, in output order
 };

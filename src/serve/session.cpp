@@ -9,6 +9,9 @@ namespace temco::serve {
 
 Session::Session(std::shared_ptr<const CompiledModel> model)
     : model_(std::move(model)), slab_(nullptr, [](float* p) { std::free(p); }) {
+  // Fail fast if this runtime cannot read the artifact's packed weights
+  // (layout version); merely different ISA dispatch is logged, not fatal.
+  model_->revalidate_kernel_dispatch();
   const std::int64_t bytes = model_->slab_bytes();
   float* raw = static_cast<float*>(std::aligned_alloc(static_cast<std::size_t>(kTensorAlignment),
                                                       static_cast<std::size_t>(bytes)));
@@ -28,6 +31,7 @@ Session::Session(std::shared_ptr<const CompiledModel> model)
     exec_options.check_numerics = model_->options().check_numerics;
     exec_options.arena_canaries = model_->options().arena_canaries;
     exec_options.parallelism = 1;
+    exec_options.intra_op_threads = model_->options().intra_op_threads;
     runtime::ExecutorBinding binding;
     binding.prepack = &model_->prepack();
     binding.plan = &model_->plan(k);

@@ -1,0 +1,80 @@
+// CPU instruction-set probe for runtime kernel dispatch.
+//
+// The GEMM engine ships several micro-kernel tiers — scalar (the always-on
+// differential oracle), AVX2/FMA, AVX-512, and a NEON placeholder — compiled
+// into every binary behind per-file ISA flags.  Which tier actually runs is a
+// *runtime* decision made here, so one build runs correctly on any machine:
+// the probe asks the CPU what it supports and dispatch never selects a tier
+// the silicon (or the build) cannot execute.
+//
+// Tiers are ordered: on x86 every AVX-512F machine also runs the AVX2 and
+// scalar kernels, so "run tier T" is meaningful for any T at or below the
+// detected level — that is what lets TEMCO_KERNEL_ISA force lower tiers for
+// differential testing on higher machines (kernels/gemm.hpp).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+namespace temco::support {
+
+/// Micro-kernel instruction-set tiers, ascending on x86 (kNeon is its own
+/// architecture and never coexists with the AVX tiers).
+enum class Isa : std::uint8_t {
+  kScalar = 0,  ///< portable register-tiled C++ — the differential oracle
+  kAvx2 = 1,    ///< 8-wide FMA (requires AVX2 + FMA)
+  kAvx512 = 2,  ///< 16-wide FMA with native masking (requires AVX-512F)
+  kNeon = 3,    ///< aarch64 placeholder tier (dispatch stub, scalar kernels)
+};
+
+constexpr const char* isa_name(Isa isa) {
+  switch (isa) {
+    case Isa::kScalar: return "scalar";
+    case Isa::kAvx2: return "avx2";
+    case Isa::kAvx512: return "avx512";
+    case Isa::kNeon: return "neon";
+  }
+  return "?";
+}
+
+/// Best tier the *hardware* supports, independent of what this build compiled
+/// in (kernels/gemm.cpp intersects the two).  Cached after the first call.
+inline Isa detected_isa() {
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+  static const Isa detected = [] {
+    __builtin_cpu_init();
+    if (__builtin_cpu_supports("avx512f")) return Isa::kAvx512;
+    if (__builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma")) return Isa::kAvx2;
+    return Isa::kScalar;
+  }();
+  return detected;
+#elif defined(__aarch64__)
+  return Isa::kNeon;  // NEON is architecturally guaranteed on aarch64
+#else
+  return Isa::kScalar;
+#endif
+}
+
+/// True when the hardware can execute `isa`-tier kernels: the scalar tier
+/// always, an x86 tier when the detected level is at or above it, NEON only
+/// on aarch64.
+inline bool isa_runnable(Isa isa) {
+  if (isa == Isa::kScalar) return true;
+  const Isa detected = detected_isa();
+  if (isa == Isa::kNeon || detected == Isa::kNeon) return isa == detected;
+  return static_cast<std::uint8_t>(isa) <= static_cast<std::uint8_t>(detected);
+}
+
+/// Parses a TEMCO_KERNEL_ISA value ("scalar", "avx2", "avx512", "neon",
+/// "native" = detected best).  nullopt for anything else.
+inline std::optional<Isa> parse_isa(std::string_view name) {
+  if (name == "scalar") return Isa::kScalar;
+  if (name == "avx2") return Isa::kAvx2;
+  if (name == "avx512") return Isa::kAvx512;
+  if (name == "neon") return Isa::kNeon;
+  if (name == "native") return detected_isa();
+  return std::nullopt;
+}
+
+}  // namespace temco::support

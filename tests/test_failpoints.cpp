@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "decomp/pass.hpp"
+#include "kernels/gemm.hpp"
 #include "models/zoo.hpp"
 #include "parallel/thread_pool.hpp"
 #include "runtime/executor.hpp"
@@ -71,6 +72,10 @@ Outcome drive(const std::function<void()>& fn) {
 struct FailpointCase {
   /// Runs the library path containing the site and reports what it threw.
   std::function<Outcome(const ir::Graph&)> run;
+  /// What the armed site is documented to do.  Most faults surface as a typed
+  /// error; graceful-degradation sites (gemm.dispatch) must NOT throw — their
+  /// driver verifies the degraded behavior and returns kNoError on success.
+  Outcome expected = Outcome::kExpectedType;
 };
 
 /// One driver per failpoint name.  The coverage test below asserts this
@@ -112,6 +117,41 @@ const std::map<std::string, FailpointCase>& failpoint_cases() {
        {[](const ir::Graph& g) {
          return drive<NumericError>([&] { runtime::execute(g, {input_for(g)}); });
        }}},
+      // Simulated unsupported-ISA dispatch failure: the engine must degrade
+      // to the scalar oracle (logged, never thrown) and still compute correct
+      // results.  The driver checks both; any escape fails the kNoError
+      // expectation below.
+      {"gemm.dispatch",
+       {[](const ir::Graph&) {
+          return drive<Error>([&] {
+            namespace gemm = kernels::gemm;
+            TEMCO_CHECK(gemm::active_isa() == support::Isa::kScalar)
+                << "armed gemm.dispatch did not force the scalar tier (got "
+                << gemm::active_isa_name() << ")";
+            Rng rng(123);
+            const Tensor a = Tensor::random_normal(Shape({37, 23}), rng);
+            const Tensor b = Tensor::random_normal(Shape({23, 29}), rng);
+            Tensor degraded = Tensor::zeros(Shape({37, 29}));
+            gemm::gemm_direct(a.data(), 23, 37, 23, b.data(), 29, 29, degraded.data(), 29);
+            // The degraded result must be the scalar oracle's, element-exact.
+            Tensor oracle = Tensor::zeros(Shape({37, 29}));
+            for (std::int64_t i = 0; i < 37; ++i) {
+              for (std::int64_t j = 0; j < 29; ++j) {
+                float acc = 0.0f;
+                for (std::int64_t kk = 0; kk < 23; ++kk) {
+                  acc += a[i * 23 + kk] * b[kk * 29 + j];
+                }
+                oracle[i * 29 + j] = acc;
+              }
+            }
+            for (std::int64_t i = 0; i < degraded.numel(); ++i) {
+              TEMCO_CHECK(std::abs(degraded[i] - oracle[i]) <=
+                          1e-4f * std::max(1.0f, std::abs(oracle[i])))
+                  << "scalar fallback produced a wrong element at " << i;
+            }
+          });
+        },
+        Outcome::kNoError}},
   };
   return cases;
 }
@@ -139,10 +179,13 @@ TEST_P(FailpointZooTest, EveryFailpointSurfacesAsItsTypedError) {
   for (const auto& [name, c] : failpoint_cases()) {
     failpoints::ScopedArm arm(name);
     const Outcome outcome = c.run(graph);
-    EXPECT_EQ(outcome, Outcome::kExpectedType)
+    EXPECT_EQ(outcome, c.expected)
         << name << " on " << GetParam() << ": "
-        << (outcome == Outcome::kNoError           ? "site never fired"
+        << (outcome == Outcome::kNoError           ? "site never fired (or degradation check"
+                                                     " failed to detect a fault)"
             : outcome == Outcome::kOtherTemcoError ? "threw the wrong temco::Error subtype"
+            : outcome == Outcome::kExpectedType    ? "threw where graceful degradation was"
+                                                     " documented"
                                                    : "threw a non-temco exception");
   }
 }

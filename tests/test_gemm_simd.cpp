@@ -1,0 +1,321 @@
+// Differential harness for the runtime-dispatched GEMM micro-kernel tiers.
+//
+// Every tier this process can execute (gemm::reachable_isas — always at least
+// the scalar oracle; AVX2 and AVX-512 where hardware and build allow) is
+// swept over decomposition-realistic shapes (skinny-K CP/TT factor chains,
+// Tucker cores) plus an adversarial M,N,K ∈ {1,2,3,7,17,63,64,65} cube that
+// crosses every tile/panel/vector-tail boundary: kMR=4, kNR=8, the 8- and
+// 16-lane vector widths, and the kMC=32/kNC=512 block grid.
+//
+// The bit-compatibility policy under test (DESIGN.md):
+//   * exact class — packing is a pure relayout: packed and direct A are
+//     bitwise identical per tier; thread count never changes results per
+//     tier; the scalar tier matches the naive triple loop bitwise (same
+//     operations in the same order).
+//   * ULP-bounded class — vector tiers contract multiply+add into FMA and
+//     seed the init value into the accumulator, so each output element may
+//     differ from the scalar oracle, but both evaluate the same k-ascending
+//     sum; the error of either against the infinitely-precise dot product is
+//     bounded by the classic (k+8)·eps·Σ|aᵢ||bᵢ| envelope.  We verify every
+//     tier against a double-precision reference under exactly that bound —
+//     tighter than comparing tiers pairwise, and it catches absolute wrongness
+//     (a dropped tail lane, a misread panel) rather than mere reordering.
+//
+// TEMCO_KERNEL_ISA is resolved once per process, so the env override itself
+// is exercised by the CI matrix that runs this whole binary under
+// TEMCO_KERNEL_ISA=scalar|avx2|avx512 (label `simd`); in-process we pin tiers
+// with gemm::ScopedIsa and test the parser the env variable feeds.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "kernels/gemm.hpp"
+#include "parallel/thread_pool.hpp"
+#include "support/cpu.hpp"
+#include "support/failpoint.hpp"
+#include "support/rng.hpp"
+
+namespace temco::kernels::gemm {
+namespace {
+
+struct Case {
+  std::int64_t m, n, k;
+};
+
+std::vector<Case> adversarial_cases() {
+  // Every pairwise boundary of the blocking constants: 1–3 exercise degenerate
+  // tiles, 7/17 ragged tails, 63/64/65 straddle kMC, kNR multiples, and both
+  // vector widths.
+  const std::int64_t dims[] = {1, 2, 3, 7, 17, 63, 64, 65};
+  std::vector<Case> cases;
+  for (std::int64_t m : dims) {
+    for (std::int64_t n : dims) {
+      for (std::int64_t k : dims) cases.push_back({m, n, k});
+    }
+  }
+  return cases;
+}
+
+std::vector<Case> decomposition_cases() {
+  // The shapes this engine exists for: decomposed-conv factor chains viewed
+  // as GEMMs over hw-pixel columns (hw = 32·32 or 16·16).
+  return {
+      {8, 1024, 64},   // CP input factor: rank 8 from 64 channels
+      {64, 1024, 8},   // CP output factor: 64 channels from rank 8
+      {16, 256, 16},   // Tucker core slice at 16×16 maps
+      {32, 1024, 32},  // Tucker factor pair
+      {4, 1024, 4},    // TT bond: tiny rank, wide pixel axis
+      {100, 640, 48},  // un-round everything at once
+      {48, 520, 300},  // k crosses both the 128 and 256 strip depths
+  };
+}
+
+/// One operand set per case, shared across tiers so comparisons are aligned.
+struct Problem {
+  std::int64_t m, n, k;
+  std::vector<float> a, b, bias_row, bias_col, c_init;
+  std::vector<double> dot;     ///< reference Σ a[i,kk]·b[kk,j] in double
+  std::vector<double> absdot;  ///< Σ |a[i,kk]·b[kk,j]| — the error envelope
+
+  explicit Problem(const Case& c, std::uint64_t seed) : m(c.m), n(c.n), k(c.k) {
+    Rng rng(seed);
+    auto fill = [&rng](std::vector<float>& v, std::int64_t count) {
+      v.resize(static_cast<std::size_t>(count));
+      for (float& x : v) x = rng.normal();
+    };
+    fill(a, m * k);
+    fill(b, k * n);
+    fill(bias_row, m);
+    fill(bias_col, n);
+    fill(c_init, m * n);
+    dot.resize(static_cast<std::size_t>(m * n));
+    absdot.resize(static_cast<std::size_t>(m * n));
+    for (std::int64_t i = 0; i < m; ++i) {
+      for (std::int64_t j = 0; j < n; ++j) {
+        double acc = 0.0, mag = 0.0;
+        for (std::int64_t kk = 0; kk < k; ++kk) {
+          const double term = static_cast<double>(a[i * k + kk]) * b[kk * n + j];
+          acc += term;
+          mag += std::abs(term);
+        }
+        dot[i * n + j] = acc;
+        absdot[i * n + j] = mag;
+      }
+    }
+  }
+
+  double init_value(Init init, std::int64_t i, std::int64_t j) const {
+    switch (init) {
+      case Init::kZero: return 0.0;
+      case Init::kRowBias: return bias_row[static_cast<std::size_t>(i)];
+      case Init::kColBias: return bias_col[static_cast<std::size_t>(j)];
+      case Init::kNone: return c_init[static_cast<std::size_t>(i * n + j)];
+    }
+    return 0.0;
+  }
+
+  /// Runs the active tier on this problem.  `packed` selects the gemm_packed
+  /// entry (A pre-packed) vs gemm_direct; both must agree bitwise per tier.
+  std::vector<float> run(Init init, bool packed, GemmOptions options = {}) const {
+    std::vector<float> c = c_init;
+    options.init = init;
+    options.bias = init == Init::kRowBias   ? bias_row.data()
+                   : init == Init::kColBias ? bias_col.data()
+                                            : nullptr;
+    if (packed) {
+      std::vector<float> pa(static_cast<std::size_t>(packed_a_floats(m, k)));
+      pack_a(a.data(), k, 1, m, k, pa.data());
+      gemm_packed(pa.data(), m, k, b.data(), n, n, c.data(), n, options);
+    } else {
+      gemm_direct(a.data(), k, m, k, b.data(), n, n, c.data(), n, options);
+    }
+    return c;
+  }
+
+  /// Verifies `c` against the double-precision reference under the
+  /// (k+8)·eps·Σ|terms| envelope.  The +8 headroom covers the init value
+  /// joining the chain and the float round-off of inputs already counted.
+  void check_against_reference(const std::vector<float>& c, Init init, const char* label) const {
+    const double eps = static_cast<double>(std::numeric_limits<float>::epsilon());
+    for (std::int64_t i = 0; i < m; ++i) {
+      for (std::int64_t j = 0; j < n; ++j) {
+        const double iv = init_value(init, i, j);
+        const double expect = iv + dot[i * n + j];
+        const double envelope = static_cast<double>(k + 8) * eps *
+                                (absdot[i * n + j] + std::abs(iv)) +
+                                std::numeric_limits<double>::min();
+        const double got = c[static_cast<std::size_t>(i * n + j)];
+        ASSERT_LE(std::abs(got - expect), envelope)
+            << label << " m=" << m << " n=" << n << " k=" << k << " at (" << i << "," << j
+            << "): got " << got << ", reference " << expect;
+      }
+    }
+  }
+};
+
+constexpr Init kInits[] = {Init::kZero, Init::kRowBias, Init::kColBias, Init::kNone};
+
+class SimdDifferentialTest : public ::testing::Test {};
+
+// ---- dispatch surface -------------------------------------------------------
+
+TEST(SimdDispatchTest, ScalarTierIsAlwaysReachable) {
+  const auto isas = reachable_isas();
+  ASSERT_FALSE(isas.empty());
+  EXPECT_EQ(isas.front(), Isa::kScalar);
+  for (Isa isa : isas) EXPECT_TRUE(support::isa_runnable(isa)) << support::isa_name(isa);
+}
+
+TEST(SimdDispatchTest, ScopedIsaForcesAndRestores) {
+  const Isa ambient = active_isa();
+  for (Isa isa : reachable_isas()) {
+    ScopedIsa forced(isa);
+    EXPECT_EQ(active_isa(), isa) << support::isa_name(isa);
+    {
+      ScopedIsa nested(Isa::kScalar);  // overrides nest...
+      EXPECT_EQ(active_isa(), Isa::kScalar);
+    }
+    EXPECT_EQ(active_isa(), isa) << "...and restore on scope exit";
+  }
+  EXPECT_EQ(active_isa(), ambient);
+}
+
+TEST(SimdDispatchTest, ParseIsaAcceptsTheDocumentedSpellings) {
+  using support::Isa;
+  using support::parse_isa;
+  EXPECT_EQ(parse_isa("scalar"), Isa::kScalar);
+  EXPECT_EQ(parse_isa("avx2"), Isa::kAvx2);
+  EXPECT_EQ(parse_isa("avx512"), Isa::kAvx512);
+  EXPECT_EQ(parse_isa("neon"), Isa::kNeon);
+  EXPECT_EQ(parse_isa("native"), support::detected_isa());
+  EXPECT_FALSE(parse_isa("AVX2").has_value());  // spellings are exact
+  EXPECT_FALSE(parse_isa("").has_value());
+  EXPECT_FALSE(parse_isa("sse4").has_value());
+}
+
+TEST(SimdDispatchTest, PeakProbeRunsOnEveryTier) {
+  for (Isa isa : reachable_isas()) {
+    ScopedIsa forced(isa);
+    EXPECT_GT(peak_probe_flops_per_iter(), 0.0) << support::isa_name(isa);
+    peak_probe_iters(1000);  // must not crash or misdispatch
+  }
+}
+
+// ---- the differential sweep -------------------------------------------------
+
+TEST(SimdDifferentialTest, AdversarialShapesMatchReferenceOnEveryTier) {
+  std::uint64_t seed = 1;
+  for (const Case& c : adversarial_cases()) {
+    const Problem p(c, seed++);
+    for (Isa isa : reachable_isas()) {
+      ScopedIsa forced(isa);
+      for (Init init : kInits) {
+        const auto got = p.run(init, /*packed=*/false);
+        p.check_against_reference(got, init, support::isa_name(isa));
+      }
+    }
+  }
+}
+
+TEST(SimdDifferentialTest, DecompositionShapesMatchReferenceOnEveryTier) {
+  std::uint64_t seed = 1000;
+  for (const Case& c : decomposition_cases()) {
+    const Problem p(c, seed++);
+    for (Isa isa : reachable_isas()) {
+      ScopedIsa forced(isa);
+      for (Init init : kInits) {
+        const auto got = p.run(init, /*packed=*/false);
+        p.check_against_reference(got, init, support::isa_name(isa));
+      }
+    }
+  }
+}
+
+TEST(SimdDifferentialTest, PackedAndDirectAreBitIdenticalPerTier) {
+  std::uint64_t seed = 2000;
+  for (const Case& c : adversarial_cases()) {
+    const Problem p(c, seed++);
+    for (Isa isa : reachable_isas()) {
+      ScopedIsa forced(isa);
+      const auto direct = p.run(Init::kRowBias, /*packed=*/false);
+      const auto packed = p.run(Init::kRowBias, /*packed=*/true);
+      for (std::size_t i = 0; i < direct.size(); ++i) {
+        ASSERT_EQ(direct[i], packed[i])
+            << support::isa_name(isa) << " m=" << p.m << " n=" << p.n << " k=" << p.k
+            << ": packing changed element " << i << " (must be a pure relayout)";
+      }
+    }
+  }
+}
+
+TEST(SimdDifferentialTest, ScalarTierMatchesNaiveTripleLoopBitwise) {
+  // The scalar oracle is not just close to the naive loop — within one k-strip
+  // it runs the same float operations in the same k-ascending order, so for
+  // k ≤ kKC it is bit-identical.  (Beyond kKC the strip partials are summed
+  // as (strip₀ + strip₁), a different grouping from one long chain — that is
+  // the ULP-bounded class, covered by the reference-envelope tests above.)
+  std::uint64_t seed = 3000;
+  ScopedIsa forced(Isa::kScalar);
+  for (const Case& c : decomposition_cases()) {
+    const Problem p(c, seed++);
+    if (p.k > kKC) continue;
+    const auto got = p.run(Init::kZero, /*packed=*/true);
+    for (std::int64_t i = 0; i < p.m; ++i) {
+      for (std::int64_t j = 0; j < p.n; ++j) {
+        float acc = 0.0f;
+        for (std::int64_t kk = 0; kk < p.k; ++kk) {
+          acc += p.a[i * p.k + kk] * p.b[kk * p.n + j];
+        }
+        ASSERT_EQ(got[static_cast<std::size_t>(i * p.n + j)], acc)
+            << "scalar tier diverged from the naive loop at (" << i << "," << j << ")";
+      }
+    }
+  }
+}
+
+TEST(SimdDifferentialTest, ThreadCountIsBitInvariantPerTier) {
+  const Problem p({96, 1024, 48}, 4000);
+  for (Isa isa : reachable_isas()) {
+    ScopedIsa forced(isa);
+    GemmOptions serial;
+    serial.parallel = false;
+    const auto baseline = p.run(Init::kRowBias, /*packed=*/true, serial);
+    for (std::size_t threads : {1u, 4u, 8u}) {
+      ThreadPool pool(threads);
+      GemmOptions options;
+      options.parallel = true;
+      options.pool = &pool;
+      const auto got = p.run(Init::kRowBias, /*packed=*/true, options);
+      for (std::size_t i = 0; i < baseline.size(); ++i) {
+        ASSERT_EQ(baseline[i], got[i])
+            << support::isa_name(isa) << " with " << threads
+            << " threads diverged at element " << i;
+      }
+    }
+  }
+}
+
+// ---- graceful degradation ---------------------------------------------------
+
+TEST(SimdDispatchFailpointTest, ArmedDispatchFallsBackToScalarWithoutThrowing) {
+  const Problem p({33, 65, 17}, 5000);
+  ScopedIsa forced(reachable_isas().back());  // highest tier...
+  const auto scalar_result = [&] {
+    ScopedIsa s(Isa::kScalar);
+    return p.run(Init::kZero, /*packed=*/false);
+  }();
+  failpoints::ScopedArm arm("gemm.dispatch");  // ...but the failpoint wins
+  EXPECT_EQ(active_isa(), Isa::kScalar);
+  std::vector<float> degraded;
+  EXPECT_NO_THROW(degraded = p.run(Init::kZero, /*packed=*/false));
+  ASSERT_EQ(degraded.size(), scalar_result.size());
+  for (std::size_t i = 0; i < degraded.size(); ++i) {
+    ASSERT_EQ(degraded[i], scalar_result[i]) << "fallback is not the scalar tier at " << i;
+  }
+}
+
+}  // namespace
+}  // namespace temco::kernels::gemm

@@ -11,8 +11,12 @@
 #include <thread>
 #include <vector>
 
+#include "kernels/gemm.hpp"
+#include "models/zoo.hpp"
 #include "parallel/parallel_for.hpp"
 #include "parallel/thread_pool.hpp"
+#include "runtime/executor.hpp"
+#include "support/rng.hpp"
 
 namespace temco {
 namespace {
@@ -246,6 +250,115 @@ TEST(ThreadPoolConcurrentTest, RacingCallersBothCompleteAllTasks) {
   other.join();
   EXPECT_EQ(a_count.load(), static_cast<int>(kTasks));
   EXPECT_EQ(b_count.load(), static_cast<int>(kTasks));
+}
+
+// ---- scoped intra-op pool override ------------------------------------------
+
+TEST(ScopedIntraOpPoolTest, OverridesResolveNestAndRestore) {
+  EXPECT_EQ(ScopedIntraOpPool::active(), nullptr);
+  ThreadPool outer(2);
+  ThreadPool inner(3);
+  {
+    ScopedIntraOpPool a(&outer);
+    EXPECT_EQ(ScopedIntraOpPool::active(), &outer);
+    {
+      ScopedIntraOpPool b(&inner);
+      EXPECT_EQ(ScopedIntraOpPool::active(), &inner);
+    }
+    EXPECT_EQ(ScopedIntraOpPool::active(), &outer);
+  }
+  EXPECT_EQ(ScopedIntraOpPool::active(), nullptr);
+}
+
+TEST(ScopedIntraOpPoolTest, UnqualifiedParallelForRunsOnTheScopedPool) {
+  // A 1-thread scoped pool forces serial execution: every chunk runs on the
+  // calling thread even for a range far above the fork threshold.
+  ThreadPool serial(1);
+  ScopedIntraOpPool scope(&serial);
+  const std::thread::id caller = std::this_thread::get_id();
+  std::atomic<int> off_thread{0};
+  parallel_for(
+      100000,
+      [&](std::size_t) {
+        if (std::this_thread::get_id() != caller) off_thread.fetch_add(1);
+      },
+      {.grain = 1});
+  EXPECT_EQ(off_thread.load(), 0);
+}
+
+// ---- bit-determinism across thread counts -----------------------------------
+
+/// The property the wavefront executor, the arena differential tests, and the
+/// serving runtime all lean on: for a fixed kernel tier, the GEMM block grid
+/// assigns every output element a geometry-determined owner and accumulation
+/// order, so thread count must never change a single bit.
+TEST(ThreadInvarianceTest, MultithreadedGemmBitwiseIdenticalToSingleThread) {
+  namespace gemm = kernels::gemm;
+  const std::int64_t m = 96, n = 1024, k = 300;  // spans blocks and k-strips
+  Rng rng(42);
+  std::vector<float> a(static_cast<std::size_t>(m * k));
+  std::vector<float> b(static_cast<std::size_t>(k * n));
+  std::vector<float> bias(static_cast<std::size_t>(m));
+  for (float& x : a) x = rng.normal();
+  for (float& x : b) x = rng.normal();
+  for (float& x : bias) x = rng.normal();
+
+  for (gemm::Isa isa : gemm::reachable_isas()) {
+    gemm::ScopedIsa forced(isa);
+    gemm::GemmOptions serial;
+    serial.parallel = false;
+    serial.init = gemm::Init::kRowBias;
+    serial.bias = bias.data();
+    std::vector<float> baseline(static_cast<std::size_t>(m * n));
+    gemm::gemm_direct(a.data(), k, m, k, b.data(), n, n, baseline.data(), n, serial);
+
+    for (std::size_t threads : {1u, 4u, 8u}) {
+      ThreadPool pool(threads);
+      gemm::GemmOptions options = serial;
+      options.parallel = true;
+      options.pool = &pool;
+      std::vector<float> c(static_cast<std::size_t>(m * n));
+      gemm::gemm_direct(a.data(), k, m, k, b.data(), n, n, c.data(), n, options);
+      for (std::size_t i = 0; i < c.size(); ++i) {
+        ASSERT_EQ(baseline[i], c[i])
+            << support::isa_name(isa) << " tier with " << threads
+            << " intra-op threads changed element " << i;
+      }
+    }
+  }
+}
+
+TEST(ThreadInvarianceTest, ExecutorIntraOpWidthIsBitInvariantAcrossZoo) {
+  // Full graphs, both memory regimes: any configured intra-op width must
+  // reproduce the default-pool run bit-for-bit.
+  for (const char* name : {"vgg11", "resnet18", "densenet121"}) {
+    models::ModelConfig config;
+    config.batch = 1;
+    config.image = 32;
+    config.width = 0.25;
+    config.classes = 10;
+    config.seed = 7;
+    const ir::Graph graph = models::find_model(name).build(config);
+    Rng rng(11);
+    const Tensor x = Tensor::random_normal(graph.node(0).out_shape, rng);
+
+    for (bool arena : {false, true}) {
+      runtime::ExecutorOptions base_options;
+      base_options.use_arena = arena;
+      const Tensor baseline = runtime::execute(graph, {x}, base_options).outputs[0];
+      for (std::size_t width : {1u, 4u, 8u}) {
+        runtime::ExecutorOptions options = base_options;
+        options.intra_op_threads = width;
+        const Tensor got = runtime::execute(graph, {x}, options).outputs[0];
+        ASSERT_EQ(got.shape(), baseline.shape());
+        for (std::int64_t i = 0; i < got.numel(); ++i) {
+          ASSERT_EQ(baseline[i], got[i])
+              << name << (arena ? " (arena)" : " (reference)") << " intra_op_threads=" << width
+              << " changed output element " << i;
+        }
+      }
+    }
+  }
 }
 
 }  // namespace
