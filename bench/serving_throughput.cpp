@@ -1,12 +1,17 @@
 // Serving throughput: compile-once artifacts + arena session pool + dynamic
 // micro-batching versus naive per-request Executor construction.
 //
-// Three modes, closed-loop clients, same optimized batch-1 graph:
+// Four modes, closed-loop clients, same optimized batch-1 graph:
 //   naive          every request builds a fresh Executor (prepack + arena
 //                  planning paid per request) and runs batch 1
 //   pool           Server with max_batch 1 — reuses compiled artifacts and
 //                  pooled arena sessions, no coalescing
 //   pool+batching  Server with the model's full micro-batch ceiling
+//   pool+faults    pool+batching with a ~1% transient fault rate injected
+//                  via the serve.exec_transient failpoint: what retry, the
+//                  circuit breaker, and degraded mode cost when the fault
+//                  tolerance machinery is actually exercised.  Reports
+//                  goodput (successful requests/s) next to p99.
 //
 // Reported per model/mode: requests/s, p50/p99 request latency, and resident
 // arena bytes (pool modes: the session slabs that stay allocated; naive: the
@@ -29,6 +34,7 @@
 #include "serve/compiled_model.hpp"
 #include "serve/server.hpp"
 #include "serve/session.hpp"
+#include "support/failpoint.hpp"
 #include "support/timer.hpp"
 #include "tensor/compare.hpp"
 
@@ -95,11 +101,18 @@ struct ModeResult {
   std::string mode;
   double wall_seconds = 0.0;
   double requests_per_second = 0.0;
+  /// Successful requests per second.  Equals requests_per_second except in
+  /// the fault-injection mode, where failed requests don't count.
+  double goodput_per_second = 0.0;
   double p50_ms = 0.0;
   double p99_ms = 0.0;
   std::size_t resident_arena_bytes = 0;
   std::uint64_t batches = 0;
   std::uint64_t max_batch_seen = 0;
+  std::uint64_t failed = 0;
+  std::uint64_t retries = 0;
+  std::uint64_t degraded_batches = 0;
+  std::uint64_t breaker_trips = 0;
 };
 
 struct ModelReport {
@@ -123,6 +136,7 @@ ModeResult finish(std::string mode, double wall, std::vector<double> latencies,
   result.mode = std::move(mode);
   result.wall_seconds = wall;
   result.requests_per_second = static_cast<double>(requests) / wall;
+  result.goodput_per_second = result.requests_per_second;
   result.p50_ms = percentile(latencies, 0.50) * 1e3;
   result.p99_ms = percentile(latencies, 0.99) * 1e3;
   result.resident_arena_bytes = resident_bytes;
@@ -202,7 +216,54 @@ ModeResult run_server(const std::shared_ptr<const serve::CompiledModel>& model,
   return result;
 }
 
-/// All three modes must produce the same bytes for the same request.
+/// Fault-injection mode: pool+batching under a ~1% transient fault rate.
+/// Every 100th request arms serve.exec_transient for one hit, so roughly 1%
+/// of batches see an injected execution fault.  A single retry absorbs most
+/// of them; bursts trip the breaker into degraded mode, which then has to
+/// earn its way back.  Goodput counts only requests that resolved with a
+/// value.
+ModeResult run_faulted(const std::shared_ptr<const serve::CompiledModel>& model,
+                       const Tensor& input, const ServingConfig& config,
+                       std::size_t max_batch) {
+  serve::ServerOptions options;
+  options.workers = 2;
+  options.sessions = 2;
+  options.max_batch = max_batch;
+  options.queue_capacity = config.requests + config.clients;
+  options.batch_timeout = std::chrono::microseconds(0);
+  options.max_retries = 1;
+  options.retry_backoff = std::chrono::microseconds(50);
+  options.breaker_threshold = 3;
+  options.breaker_recovery = 4;
+  serve::Server server(model, options);
+
+  std::atomic<std::size_t> succeeded{0};
+  Timer wall;
+  auto latencies = closed_loop(config.requests, config.clients, [&](std::size_t index) {
+    if (index % 100 == 7) failpoints::arm("serve.exec_transient", 1);
+    try {
+      server.submit({input}).get();
+      succeeded.fetch_add(1, std::memory_order_relaxed);
+    } catch (const Error&) {
+      // An injected fault that outlived the retry budget; counted below.
+    }
+  });
+  const double elapsed = wall.elapsed_seconds();
+  failpoints::disarm_all();
+  const auto stats = server.stats();
+  ModeResult result = finish("pool+faults", elapsed, std::move(latencies), config.requests,
+                             server.session_pool().resident_bytes());
+  result.goodput_per_second = static_cast<double>(succeeded.load()) / elapsed;
+  result.batches = stats.batches;
+  result.max_batch_seen = stats.max_batch_seen;
+  result.failed = stats.failed;
+  result.retries = stats.retries;
+  result.degraded_batches = stats.degraded_batches;
+  result.breaker_trips = stats.breaker_trips;
+  return result;
+}
+
+/// All unfaulted modes must produce the same bytes for the same request.
 void check_bit_identical(const ir::Graph& optimized_b1,
                          const std::shared_ptr<const serve::CompiledModel>& model,
                          const Tensor& input) {
@@ -236,19 +297,25 @@ void write_json(const std::vector<ModelReport>& reports, const ServingConfig& co
     for (const ModeResult& mode : report.modes) {
       std::fprintf(f,
                    "%s    {\"model\": \"%s\", \"mode\": \"%s\", \"requests_per_second\": "
-                   "%.2f, \"p50_ms\": %.3f, \"p99_ms\": %.3f, \"resident_arena_bytes\": "
-                   "%zu, \"batches\": %llu, \"max_batch_seen\": %llu}",
+                   "%.2f, \"goodput_per_second\": %.2f, \"p50_ms\": %.3f, \"p99_ms\": %.3f, "
+                   "\"resident_arena_bytes\": %zu, \"batches\": %llu, \"max_batch_seen\": "
+                   "%llu, \"failed\": %llu, \"retries\": %llu, \"degraded_batches\": %llu, "
+                   "\"breaker_trips\": %llu}",
                    first ? "" : ",\n", report.model.c_str(), mode.mode.c_str(),
-                   mode.requests_per_second, mode.p50_ms, mode.p99_ms,
+                   mode.requests_per_second, mode.goodput_per_second, mode.p50_ms, mode.p99_ms,
                    mode.resident_arena_bytes,
                    static_cast<unsigned long long>(mode.batches),
-                   static_cast<unsigned long long>(mode.max_batch_seen));
+                   static_cast<unsigned long long>(mode.max_batch_seen),
+                   static_cast<unsigned long long>(mode.failed),
+                   static_cast<unsigned long long>(mode.retries),
+                   static_cast<unsigned long long>(mode.degraded_batches),
+                   static_cast<unsigned long long>(mode.breaker_trips));
       first = false;
     }
   }
   std::fprintf(f, "\n  ]\n}\n");
   std::fclose(f);
-  std::printf("wrote BENCH_serving.json (%zu models x 3 modes)\n", reports.size());
+  std::printf("wrote BENCH_serving.json (%zu models x 4 modes)\n", reports.size());
 }
 
 }  // namespace
@@ -307,13 +374,15 @@ int main(int argc, char** argv) {
     const std::size_t batch_ceiling = std::min(model->max_batch(), config.clients);
     report.modes.push_back(best_of(
         [&] { return run_server(model, input, config, batch_ceiling, "pool+batching"); }));
+    report.modes.push_back(
+        best_of([&] { return run_faulted(model, input, config, batch_ceiling); }));
 
     const double naive_rps = report.modes[0].requests_per_second;
     for (const ModeResult& mode : report.modes) {
       std::printf("%-12s %-14s %10.1f %7.2fms %7.2fms %10.1fKiB %7.2fx\n", name.c_str(),
-                  mode.mode.c_str(), mode.requests_per_second, mode.p50_ms, mode.p99_ms,
+                  mode.mode.c_str(), mode.goodput_per_second, mode.p50_ms, mode.p99_ms,
                   static_cast<double>(mode.resident_arena_bytes) / 1024.0,
-                  mode.requests_per_second / naive_rps);
+                  mode.goodput_per_second / naive_rps);
     }
     speedups.push_back(report.modes[2].requests_per_second / naive_rps);
     reports.push_back(std::move(report));

@@ -399,6 +399,10 @@ ExecutionResult Executor::run_into(const std::vector<Tensor>& inputs,
 
 void Executor::run_dispatch(const std::vector<Tensor>& inputs, std::vector<Tensor>& outputs,
                             ExecutionResult& result) {
+  // Admission check: a run whose token already stopped never starts.  The
+  // per-node / per-wave polls below bound how much work an in-flight stop
+  // can waste.
+  if (options_.cancel != nullptr) options_.cancel->raise_if_stopped();
   if (lanes_ > 1) {
     run_wavefront(inputs, outputs, result);
   } else if (options_.use_arena) {
@@ -417,6 +421,7 @@ void Executor::run_reference(const std::vector<Tensor>& inputs, std::vector<Tens
   Timer timer;
 
   for (const ir::Node& node : graph_.nodes()) {
+    if (options_.cancel != nullptr) options_.cancel->raise_if_stopped();
     const std::size_t slot = static_cast<std::size_t>(node.id);
     if (node.kind == ir::OpKind::kInput) {
       // Copy the caller's input into tracked storage: the input batch is an
@@ -471,6 +476,7 @@ void Executor::run_arena(const std::vector<Tensor>& inputs, std::vector<Tensor>&
 
   const bool canaries = options_.arena_canaries && plan_.canary_bytes > 0;
   for (const ir::Node& node : graph_.nodes()) {
+    if (options_.cancel != nullptr) options_.cancel->raise_if_stopped();
     const std::size_t slot = static_cast<std::size_t>(node.id);
     // The band must be (re)written when the value comes alive: its bytes may
     // have served as another value's payload earlier in this run.
@@ -588,6 +594,9 @@ void Executor::run_wavefront(const std::vector<Tensor>& inputs, std::vector<Tens
   };
 
   for (const Wave& wave : waves_.waves) {
+    // Cooperative stop between waves only — never inside one, so a stop can
+    // never strand a lane mid-wave or skip a consumer's countdown.
+    if (options_.cancel != nullptr) options_.cancel->raise_if_stopped();
     // Wave open (serial): bring the wave's values alive.  Arena mode
     // rewrites guard bands (the bytes may have carried another value in an
     // earlier wave); reference mode allocates every output up front so the

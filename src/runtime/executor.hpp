@@ -39,6 +39,7 @@
 #include "runtime/arena.hpp"
 #include "runtime/liveness.hpp"
 #include "runtime/wavefront.hpp"
+#include "support/cancel.hpp"
 
 namespace temco::runtime {
 
@@ -149,6 +150,15 @@ struct ExecutorOptions {
   /// Budget for concurrent-lifetime widening when parallelism != 1, as a
   /// multiple of the sequential planned peak (WavefrontOptions::memory_slack).
   double wavefront_memory_slack = 1.125;
+
+  /// Cooperative stop token, polled between nodes (sequential regimes) and
+  /// between waves (wavefront regime) as well as once at dispatch.  A stop
+  /// surfaces as CancelledError / DeadlineExceededError from run(); the
+  /// executor stays reusable afterwards (the arena is rewritten from scratch
+  /// every run, so an abandoned run leaves no partial state that matters).
+  /// nullptr (default): no polling, zero overhead.  Must outlive the
+  /// executor; owned by the caller (serve::Session owns one per session).
+  const support::CancelToken* cancel = nullptr;
 };
 
 class Executor {

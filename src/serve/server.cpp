@@ -1,6 +1,43 @@
 #include "serve/server.hpp"
 
+#include <algorithm>
+
+#include "support/log.hpp"
+
 namespace temco::serve {
+
+namespace {
+
+/// What a batch failure means for the retry/quarantine machinery.
+enum class FaultClass {
+  kTransient,   ///< spurious and non-corrupting: safe to re-execute
+  kCorrupting,  ///< the session's memory is suspect: quarantine it
+  kDeadline,    ///< the batch ran out of SLO: typed resolution, no retry
+  kCancelled,   ///< the run was abandoned (watchdog/shutdown)
+  kTerminal,    ///< anything else: fail the batch, keep the session
+};
+
+FaultClass classify(const std::exception_ptr& error) {
+  try {
+    std::rethrow_exception(error);
+  } catch (const TransientFaultError&) {
+    return FaultClass::kTransient;
+  } catch (const ResourceExhaustedError&) {
+    return FaultClass::kTransient;
+  } catch (const DeadlineExceededError&) {
+    return FaultClass::kDeadline;
+  } catch (const CancelledError&) {
+    return FaultClass::kCancelled;
+  } catch (const MemoryCorruptionError&) {
+    return FaultClass::kCorrupting;
+  } catch (const NumericError&) {
+    return FaultClass::kCorrupting;
+  } catch (...) {
+    return FaultClass::kTerminal;
+  }
+}
+
+}  // namespace
 
 Server::Server(std::shared_ptr<const CompiledModel> model, ServerOptions options)
     : model_(std::move(model)), options_(options) {
@@ -12,9 +49,14 @@ Server::Server(std::shared_ptr<const CompiledModel> model, ServerOptions options
   TEMCO_CHECK_AS(options_.max_batch <= model_->max_batch(), ResourceExhaustedError)
       << "server max_batch " << options_.max_batch << " exceeds the model's compiled ceiling "
       << model_->max_batch();
+  if (options_.watchdog_interval.count() <= 0) options_.watchdog_interval = std::chrono::milliseconds(1);
 
   pool_ = std::make_unique<SessionPool>(model_, options_.sessions);
   worker_pool_ = std::make_unique<ThreadPool>(options_.workers);
+
+  if (options_.hang_budget.count() > 0) {
+    watchdog_ = std::thread([this] { watchdog_loop(); });
+  }
 
   // The dispatcher is the worker pool's participating caller: it blocks in
   // run() for the server's whole life, contributing one worker lane itself.
@@ -25,17 +67,17 @@ Server::Server(std::shared_ptr<const CompiledModel> model, ServerOptions options
       // A worker's queue logic itself failed (batch execution errors are
       // contained in execute_batch and never reach here).  Stop admission
       // and fail whatever is still queued so no future is abandoned.
-      std::deque<Request> orphaned;
+      std::deque<RequestPtr> orphaned;
       {
         std::lock_guard<std::mutex> lock(queue_mutex_);
         stopping_ = true;
         orphaned.swap(queue_);
       }
       queue_cv_.notify_all();
-      for (Request& request : orphaned) {
-        counters_.cancelled.fetch_add(1, std::memory_order_relaxed);
-        request.promise.set_exception(std::make_exception_ptr(
-            CancelledError("server worker failed before this request ran")));
+      const auto error = std::make_exception_ptr(
+          CancelledError("server worker failed before this request ran"));
+      for (const RequestPtr& request : orphaned) {
+        resolve_error(*request, error, counters_.cancelled);
       }
     }
   });
@@ -44,10 +86,26 @@ Server::Server(std::shared_ptr<const CompiledModel> model, ServerOptions options
 Server::~Server() { shutdown(false); }
 
 std::future<std::vector<Tensor>> Server::submit(std::vector<Tensor> inputs) {
+  return submit(std::move(inputs), SubmitOptions{});
+}
+
+std::future<std::vector<Tensor>> Server::submit(std::vector<Tensor> inputs,
+                                                SubmitOptions options) {
   model_->check_compatible(inputs);
-  Request request;
-  request.inputs = std::move(inputs);
-  std::future<std::vector<Tensor>> future = request.promise.get_future();
+  auto deadline = options.deadline;
+  const auto now = std::chrono::steady_clock::now();
+  if (options.timeout.count() > 0) deadline = std::min(deadline, now + options.timeout);
+  if (deadline != std::chrono::steady_clock::time_point::max() && now >= deadline) {
+    // Admission check: a request that is already out of time must not
+    // consume queue capacity or a session — the SLO answer is known now.
+    counters_.deadline_rejected.fetch_add(1, std::memory_order_relaxed);
+    TEMCO_CHECK_AS(false, DeadlineExceededError)
+        << "request deadline already expired at submission";
+  }
+  auto request = std::make_shared<Request>();
+  request->inputs = std::move(inputs);
+  request->deadline = deadline;
+  std::future<std::vector<Tensor>> future = request->promise.get_future();
   {
     std::lock_guard<std::mutex> lock(queue_mutex_);
     TEMCO_CHECK_AS(!stopping_, CancelledError) << "server is shutting down";
@@ -66,63 +124,302 @@ std::future<std::vector<Tensor>> Server::submit(std::vector<Tensor> inputs) {
 
 void Server::worker_loop() {
   for (;;) {
-    std::vector<Request> batch;
+    std::vector<RequestPtr> batch;
+    bool degraded = false;
     {
       std::unique_lock<std::mutex> lock(queue_mutex_);
       queue_cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
       if (queue_.empty()) return;  // stopping, and nothing left to run
+
+      // Degraded mode (circuit breaker open): singleton batches only, so a
+      // fault fails one request and the hardened executor can run.
+      degraded = degraded_.load(std::memory_order_relaxed);
+      const std::size_t cap = degraded ? 1 : options_.max_batch;
 
       batch.push_back(std::move(queue_.front()));
       queue_.pop_front();
       // Coalesce: drain whatever is already queued, then wait out the
       // batching window for stragglers — but never once a full batch is in
       // hand, and never during shutdown (no stragglers will be admitted).
-      const auto deadline = std::chrono::steady_clock::now() + options_.batch_timeout;
-      while (batch.size() < options_.max_batch) {
+      const auto window = std::chrono::steady_clock::now() + options_.batch_timeout;
+      while (batch.size() < cap) {
         if (!queue_.empty()) {
           batch.push_back(std::move(queue_.front()));
           queue_.pop_front();
           continue;
         }
         if (stopping_) break;
-        if (queue_cv_.wait_until(lock, deadline) == std::cv_status::timeout) break;
+        if (queue_cv_.wait_until(lock, window) == std::cv_status::timeout) break;
       }
       // Claimed while still holding the queue lock: once in_flight counts a
       // request, it is guaranteed to resolve — shutdown cancels only what is
       // still in queue_.
       counters_.in_flight.fetch_add(batch.size(), std::memory_order_relaxed);
     }
-    execute_batch(batch);
-    counters_.in_flight.fetch_sub(batch.size(), std::memory_order_relaxed);
+    const std::size_t claimed = batch.size();
+    execute_batch(batch, degraded);
+    counters_.in_flight.fetch_sub(claimed, std::memory_order_relaxed);
   }
 }
 
-void Server::execute_batch(std::vector<Request>& batch) {
-  try {
-    SessionPool::Lease lease = pool_->acquire();
-    std::vector<const std::vector<Tensor>*> requests;
-    requests.reserve(batch.size());
-    for (const Request& request : batch) requests.push_back(&request.inputs);
-    std::vector<std::vector<Tensor>> responses = lease->run_batch(requests);
-    lease.release();  // free the session before the (cheap) promise fanout
-    // Counters first: a client that observes its future ready must also
-    // observe the completion counted.
-    counters_.completed.fetch_add(batch.size(), std::memory_order_relaxed);
-    counters_.batches.fetch_add(1, std::memory_order_relaxed);
-    counters_.batched_requests.fetch_add(batch.size(), std::memory_order_relaxed);
-    std::uint64_t seen = counters_.max_batch_seen.load(std::memory_order_relaxed);
-    while (seen < batch.size() &&
-           !counters_.max_batch_seen.compare_exchange_weak(seen, batch.size())) {
+bool Server::resolve_value(Request& request, std::vector<Tensor> value) {
+  if (!request.claim()) return false;
+  // Counters first: a client that observes its future ready must also
+  // observe the completion counted.
+  counters_.completed.fetch_add(1, std::memory_order_relaxed);
+  request.promise.set_value(std::move(value));
+  return true;
+}
+
+bool Server::resolve_error(Request& request, const std::exception_ptr& error,
+                           std::atomic<std::uint64_t>& counter) {
+  if (!request.claim()) return false;
+  counter.fetch_add(1, std::memory_order_relaxed);
+  request.promise.set_exception(error);
+  return true;
+}
+
+void Server::fail_batch(std::vector<RequestPtr>& batch, const std::exception_ptr& error) {
+  for (const RequestPtr& request : batch) resolve_error(*request, error, counters_.failed);
+  batch.clear();
+}
+
+void Server::sweep_expired(std::vector<RequestPtr>& batch) {
+  const auto now = std::chrono::steady_clock::now();
+  std::exception_ptr error;
+  std::vector<RequestPtr> keep;
+  keep.reserve(batch.size());
+  for (RequestPtr& request : batch) {
+    if (request->expired(now)) {
+      if (error == nullptr) {
+        error = std::make_exception_ptr(
+            DeadlineExceededError("request deadline expired before execution"));
+      }
+      resolve_error(*request, error, counters_.deadline_expired);
+    } else {
+      keep.push_back(std::move(request));
     }
-    for (std::size_t r = 0; r < batch.size(); ++r) {
-      batch[r].promise.set_value(std::move(responses[r]));
+  }
+  batch.swap(keep);
+}
+
+void Server::backoff_sleep(std::size_t attempt) {
+  if (options_.retry_backoff.count() <= 0) return;
+  double jitter;
+  {
+    std::lock_guard<std::mutex> lock(rng_mutex_);
+    jitter = std::uniform_real_distribution<double>(0.5, 1.5)(rng_);
+  }
+  const std::size_t doublings = std::min<std::size_t>(attempt > 0 ? attempt - 1 : 0, 10);
+  const double scaled =
+      static_cast<double>(options_.retry_backoff.count()) * static_cast<double>(1ull << doublings);
+  const auto delay = std::chrono::microseconds(static_cast<std::int64_t>(scaled * jitter));
+  // Interruptible: a shutdown notification ends the nap early so drains
+  // never wait out a retry schedule.
+  std::unique_lock<std::mutex> lock(queue_mutex_);
+  queue_cv_.wait_for(lock, delay, [this] { return stopping_; });
+}
+
+void Server::breaker_failure() {
+  if (options_.breaker_threshold == 0) return;
+  std::lock_guard<std::mutex> lock(breaker_mutex_);
+  ++consecutive_failures_;
+  probe_successes_ = 0;
+  if (!degraded_.load(std::memory_order_relaxed) &&
+      consecutive_failures_ >= options_.breaker_threshold) {
+    degraded_.store(true, std::memory_order_relaxed);
+    counters_.breaker_trips.fetch_add(1, std::memory_order_relaxed);
+    TEMCO_WARN() << "circuit breaker tripped after " << consecutive_failures_
+                 << " consecutive batch failures; degrading to singleton batches";
+  }
+}
+
+void Server::breaker_success() {
+  if (options_.breaker_threshold == 0) return;
+  std::lock_guard<std::mutex> lock(breaker_mutex_);
+  consecutive_failures_ = 0;
+  if (!degraded_.load(std::memory_order_relaxed)) return;
+  if (++probe_successes_ >= options_.breaker_recovery) {
+    degraded_.store(false, std::memory_order_relaxed);
+    probe_successes_ = 0;
+    counters_.breaker_restores.fetch_add(1, std::memory_order_relaxed);
+    TEMCO_INFO() << "circuit breaker closed after " << options_.breaker_recovery
+                 << " clean probes; normal batching restored";
+  }
+}
+
+Server::WatchHandle Server::watch_begin(const std::vector<RequestPtr>& batch,
+                                        support::CancelToken* token) {
+  if (!watchdog_.joinable()) return std::nullopt;
+  std::lock_guard<std::mutex> lock(watch_mutex_);
+  watched_.push_back(Inflight{std::chrono::steady_clock::now(), token, batch, false});
+  return std::prev(watched_.end());
+}
+
+bool Server::watch_end(WatchHandle& handle) {
+  if (!handle.has_value()) return false;
+  std::lock_guard<std::mutex> lock(watch_mutex_);
+  const bool flagged = (*handle)->flagged;
+  watched_.erase(*handle);
+  handle.reset();
+  return flagged;
+}
+
+void Server::watchdog_loop() {
+  std::unique_lock<std::mutex> lock(watch_mutex_);
+  for (;;) {
+    watch_cv_.wait_for(lock, options_.watchdog_interval, [this] { return watchdog_stop_; });
+    if (watchdog_stop_) return;
+    const auto now = std::chrono::steady_clock::now();
+    for (Inflight& entry : watched_) {
+      if (entry.flagged || now - entry.started < options_.hang_budget) continue;
+      // Fail fast: clients get their answer now; the stuck run is cancelled
+      // via the session token and unwinds at its next poll point.  The
+      // worker discovers the flag at watch_end and discards any late result.
+      entry.flagged = true;
+      counters_.hung_batches.fetch_add(1, std::memory_order_relaxed);
+      entry.token->cancel();
+      const auto error = std::make_exception_ptr(DeadlineExceededError(
+          "batch exceeded the server hang budget; failed fast by the watchdog"));
+      for (const RequestPtr& request : entry.requests) {
+        resolve_error(*request, error, counters_.hung_requests);
+      }
+      TEMCO_WARN() << "watchdog flagged a batch of " << entry.requests.size()
+                   << " requests over the hang budget";
     }
-  } catch (...) {
-    // Fault isolation: exactly this batch's requests observe the error; the
-    // worker, its session, and every other batch stay serviceable.
-    const std::exception_ptr error = std::current_exception();
-    counters_.failed.fetch_add(batch.size(), std::memory_order_relaxed);
-    for (Request& request : batch) request.promise.set_exception(error);
+  }
+}
+
+void Server::execute_batch(std::vector<RequestPtr>& batch, bool degraded) {
+  if (degraded) counters_.degraded_batches.fetch_add(1, std::memory_order_relaxed);
+  std::size_t attempt = 0;
+  for (;;) {
+    // Deadline check at batch formation (and again before every retry —
+    // backoff may have outlived someone's SLO).
+    sweep_expired(batch);
+    if (batch.empty()) return;
+
+    SessionPool::Lease lease;
+    try {
+      lease = pool_->acquire();
+    } catch (...) {
+      // The pool is defunct (all sessions quarantined, none replaceable).
+      breaker_failure();
+      fail_batch(batch, std::current_exception());
+      return;
+    }
+
+    // Arm the session token with the tightest deadline in the batch; the
+    // executor polls it between nodes/waves.
+    support::CancelToken& token = lease->cancel_token();
+    token.reset();
+    auto deadline = std::chrono::steady_clock::time_point::max();
+    for (const RequestPtr& request : batch) deadline = std::min(deadline, request->deadline);
+    if (deadline != std::chrono::steady_clock::time_point::max()) token.set_deadline(deadline);
+    WatchHandle watch = watch_begin(batch, &token);
+
+    try {
+      std::vector<const std::vector<Tensor>*> requests;
+      requests.reserve(batch.size());
+      for (const RequestPtr& request : batch) requests.push_back(&request->inputs);
+      std::vector<std::vector<Tensor>> responses =
+          lease->run_batch(requests, degraded ? RunMode::kDegraded : RunMode::kNormal);
+      const bool hung = watch_end(watch);
+      token.reset();
+      lease.release();  // free the session before the (cheap) promise fanout
+      if (hung) {
+        // Finished after the watchdog already failed these futures: clients
+        // were told the batch hung, so the late result is discarded.
+        batch.clear();
+        breaker_failure();
+        return;
+      }
+      counters_.batches.fetch_add(1, std::memory_order_relaxed);
+      counters_.batched_requests.fetch_add(batch.size(), std::memory_order_relaxed);
+      std::uint64_t seen = counters_.max_batch_seen.load(std::memory_order_relaxed);
+      while (seen < batch.size() &&
+             !counters_.max_batch_seen.compare_exchange_weak(seen, batch.size())) {
+      }
+      // Breaker signal before the promise fanout, same rule as the
+      // counters: a client that observes its future ready must also
+      // observe the breaker state this batch produced.
+      breaker_success();
+      for (std::size_t r = 0; r < batch.size(); ++r) {
+        resolve_value(*batch[r], std::move(responses[r]));
+      }
+      batch.clear();
+      return;
+    } catch (...) {
+      const bool hung = watch_end(watch);
+      token.reset();
+      const std::exception_ptr error = std::current_exception();
+      const FaultClass fault = classify(error);
+
+      if (fault == FaultClass::kCorrupting) {
+        // Terminal for the session too: its memory is suspect.  The pool
+        // scrubs, audits, and replaces it; this lease is consumed.
+        counters_.quarantined.fetch_add(1, std::memory_order_relaxed);
+        pool_->quarantine(std::move(lease));
+      } else {
+        lease.release();
+      }
+
+      if (hung) {
+        // The watchdog already resolved these futures as hung; its cancel is
+        // usually what unwound the run.  Sweep stragglers defensively.
+        breaker_failure();
+        const auto hang_error = std::make_exception_ptr(DeadlineExceededError(
+            "batch exceeded the server hang budget; failed fast by the watchdog"));
+        for (const RequestPtr& request : batch) {
+          resolve_error(*request, hang_error, counters_.hung_requests);
+        }
+        batch.clear();
+        return;
+      }
+
+      switch (fault) {
+        case FaultClass::kDeadline: {
+          // The batch outlived its SLO.  That is the client's answer, not a
+          // server-health signal: no breaker failure, no retry.
+          for (const RequestPtr& request : batch) {
+            resolve_error(*request, error, counters_.deadline_expired);
+          }
+          batch.clear();
+          return;
+        }
+        case FaultClass::kCancelled: {
+          for (const RequestPtr& request : batch) {
+            resolve_error(*request, error, counters_.cancelled);
+          }
+          batch.clear();
+          return;
+        }
+        case FaultClass::kTransient: {
+          bool stopping;
+          {
+            std::lock_guard<std::mutex> lock(queue_mutex_);
+            stopping = stopping_;
+          }
+          if (attempt < options_.max_retries && !stopping) {
+            ++attempt;
+            counters_.retries.fetch_add(1, std::memory_order_relaxed);
+            backoff_sleep(attempt);
+            continue;  // re-sweep deadlines, re-acquire a session, re-run
+          }
+          break;  // retry budget exhausted (or draining): terminal
+        }
+        case FaultClass::kCorrupting:
+        case FaultClass::kTerminal:
+          break;
+      }
+
+      // Fault isolation: exactly this batch's requests observe the error;
+      // the worker and every other batch stay serviceable.  Breaker signal
+      // first, same visibility rule as the success path.
+      breaker_failure();
+      fail_batch(batch, error);
+      return;
+    }
   }
 }
 
@@ -130,7 +427,7 @@ void Server::shutdown(bool drain) {
   // Serialize whole shutdowns: the second caller waits for the first to
   // finish joining, then sees joined_ and returns.
   std::lock_guard<std::mutex> shutdown_lock(shutdown_mutex_);
-  std::deque<Request> orphaned;
+  std::deque<RequestPtr> orphaned;
   {
     std::lock_guard<std::mutex> lock(queue_mutex_);
     if (joined_) return;
@@ -138,13 +435,23 @@ void Server::shutdown(bool drain) {
     if (!drain) orphaned.swap(queue_);
   }
   queue_cv_.notify_all();
-  for (Request& request : orphaned) {
-    counters_.cancelled.fetch_add(1, std::memory_order_relaxed);
-    request.promise.set_exception(std::make_exception_ptr(
-        CancelledError("request cancelled: server shut down before it ran")));
+  const auto error = std::make_exception_ptr(
+      CancelledError("request cancelled: server shut down before it ran"));
+  // The claim makes this idempotent against every racer: a request the
+  // batcher grabbed between our swap and here resolves exactly once.
+  for (const RequestPtr& request : orphaned) {
+    resolve_error(*request, error, counters_.cancelled);
   }
   if (dispatcher_.joinable()) dispatcher_.join();
   worker_pool_->shutdown();
+  if (watchdog_.joinable()) {
+    {
+      std::lock_guard<std::mutex> lock(watch_mutex_);
+      watchdog_stop_ = true;
+    }
+    watch_cv_.notify_all();
+    watchdog_.join();
+  }
   {
     std::lock_guard<std::mutex> lock(queue_mutex_);
     joined_ = true;
@@ -158,10 +465,20 @@ ServerStats Server::stats() const {
   snapshot.completed = counters_.completed.load(std::memory_order_relaxed);
   snapshot.failed = counters_.failed.load(std::memory_order_relaxed);
   snapshot.cancelled = counters_.cancelled.load(std::memory_order_relaxed);
+  snapshot.deadline_rejected = counters_.deadline_rejected.load(std::memory_order_relaxed);
+  snapshot.deadline_expired = counters_.deadline_expired.load(std::memory_order_relaxed);
+  snapshot.hung_requests = counters_.hung_requests.load(std::memory_order_relaxed);
+  snapshot.hung_batches = counters_.hung_batches.load(std::memory_order_relaxed);
+  snapshot.retries = counters_.retries.load(std::memory_order_relaxed);
+  snapshot.quarantined = counters_.quarantined.load(std::memory_order_relaxed);
+  snapshot.breaker_trips = counters_.breaker_trips.load(std::memory_order_relaxed);
+  snapshot.breaker_restores = counters_.breaker_restores.load(std::memory_order_relaxed);
+  snapshot.degraded_batches = counters_.degraded_batches.load(std::memory_order_relaxed);
   snapshot.batches = counters_.batches.load(std::memory_order_relaxed);
   snapshot.batched_requests = counters_.batched_requests.load(std::memory_order_relaxed);
   snapshot.max_batch_seen = counters_.max_batch_seen.load(std::memory_order_relaxed);
   snapshot.in_flight = counters_.in_flight.load(std::memory_order_relaxed);
+  snapshot.degraded = degraded_.load(std::memory_order_relaxed);
   return snapshot;
 }
 

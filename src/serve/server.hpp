@@ -13,11 +13,29 @@
 // running each request alone, so batching is invisible to clients except as
 // throughput.
 //
-// Failure isolation: an execution fault (kernel check, NumericError from
-// check_numerics, injected failpoint) fails exactly the requests of the
-// batch that hit it; other batches — including ones coalesced a moment
-// later from the same queue — are unaffected, and the worker, session, and
-// server all remain serviceable.
+// Fault tolerance (see DESIGN.md "Fault tolerance" for the full matrix):
+//  - Deadlines: SubmitOptions carries an absolute deadline, enforced at
+//    admission (DeadlineExceededError from submit), again before execution,
+//    and cooperatively inside the Executor via the session's cancel token —
+//    a request never burns a session after its SLO already lapsed.
+//  - Retry: a batch that fails with a *transient* fault (TransientFaultError,
+//    ResourceExhaustedError) is re-executed up to max_retries times with
+//    exponential, jittered backoff.  Transient faults never publish partial
+//    results (the arena is rewritten from scratch), so retry is safe.
+//  - Quarantine: *corrupting* faults (NumericError, MemoryCorruptionError)
+//    are terminal for the batch AND for the session — the pool scrubs,
+//    audits, and replaces it rather than re-leasing suspect memory.
+//  - Circuit breaker: breaker_threshold consecutive batch failures degrade
+//    the batcher to singleton batches on a hardened serial executor
+//    (isolation over throughput); breaker_recovery consecutive successes in
+//    that mode restore normal batching.
+//  - Watchdog: with a nonzero hang_budget, a dedicated thread flags batches
+//    that outlive it, fails their futures fast (DeadlineExceededError), and
+//    cancels the stuck run via the session token so the worker comes back.
+//
+// Every accepted request resolves exactly once, to a value or a typed
+// temco::Error — enforced structurally by an atomic per-request claim, so
+// shutdown racing the watchdog racing a worker can never double-resolve.
 //
 // Shutdown: shutdown(drain=true) stops admission and completes everything
 // already accepted; shutdown(drain=false) — what the destructor does —
@@ -33,13 +51,17 @@
 #include <cstdint>
 #include <deque>
 #include <future>
+#include <list>
 #include <memory>
 #include <mutex>
+#include <optional>
+#include <random>
 #include <thread>
 #include <vector>
 
 #include "parallel/thread_pool.hpp"
 #include "serve/session.hpp"
+#include "support/cancel.hpp"
 
 namespace temco::serve {
 
@@ -62,19 +84,66 @@ struct ServerOptions {
   /// How long a worker holding a partial batch waits for stragglers before
   /// executing.  0 executes whatever one queue drain yields.
   std::chrono::microseconds batch_timeout{200};
+
+  /// Extra attempts granted to a batch whose failure classified transient
+  /// (TransientFaultError, ResourceExhaustedError).  0 disables retry.
+  std::size_t max_retries = 2;
+
+  /// Base backoff before retry attempt a: base * 2^(a-1), scaled by a
+  /// uniform jitter in [0.5, 1.5) so synchronized failures don't retry in
+  /// lockstep.  0 retries immediately (what deterministic tests use).
+  std::chrono::microseconds retry_backoff{200};
+
+  /// Consecutive batch failures that trip the circuit breaker into degraded
+  /// mode (singleton batches, hardened serial executor).  0 disables.
+  std::size_t breaker_threshold = 3;
+
+  /// Consecutive degraded-mode successes before normal batching restores.
+  std::size_t breaker_recovery = 8;
+
+  /// Wall-clock budget an executing batch may spend before the watchdog
+  /// fails its futures fast and cancels the run.  0 (default) disables the
+  /// watchdog thread entirely.
+  std::chrono::milliseconds hang_budget{0};
+
+  /// Watchdog polling period (only meaningful with a nonzero hang_budget).
+  std::chrono::milliseconds watchdog_interval{10};
+};
+
+/// Per-request submit-time options.
+struct SubmitOptions {
+  /// Absolute completion deadline; time_point::max() (default) means none.
+  /// An already-expired deadline is rejected at admission.
+  std::chrono::steady_clock::time_point deadline = std::chrono::steady_clock::time_point::max();
+
+  /// Convenience: nonzero sets `deadline = now + timeout` at submit time
+  /// (the earlier of the two wins if both are given).
+  std::chrono::microseconds timeout{0};
 };
 
 /// Monotonic counters, readable at any time; a snapshot, not a transaction.
+/// Every accepted request lands in exactly one of completed / failed /
+/// cancelled / deadline_expired / hung_requests once it resolves.
 struct ServerStats {
-  std::uint64_t accepted = 0;          ///< requests admitted to the queue
-  std::uint64_t rejected = 0;          ///< submits refused (queue full)
-  std::uint64_t completed = 0;         ///< futures fulfilled with outputs
-  std::uint64_t failed = 0;            ///< futures fulfilled with an execution error
-  std::uint64_t cancelled = 0;         ///< futures failed with CancelledError at shutdown
-  std::uint64_t batches = 0;           ///< micro-batches executed
-  std::uint64_t batched_requests = 0;  ///< requests summed over those batches
-  std::uint64_t max_batch_seen = 0;    ///< largest coalesced batch so far
-  std::uint64_t in_flight = 0;         ///< claimed by a worker, not yet resolved
+  std::uint64_t accepted = 0;           ///< requests admitted to the queue
+  std::uint64_t rejected = 0;           ///< submits refused (queue full)
+  std::uint64_t completed = 0;          ///< futures fulfilled with outputs
+  std::uint64_t failed = 0;             ///< futures failed with an execution error
+  std::uint64_t cancelled = 0;          ///< futures failed with CancelledError at shutdown
+  std::uint64_t deadline_rejected = 0;  ///< submits refused (deadline already expired)
+  std::uint64_t deadline_expired = 0;   ///< accepted requests that ran out of deadline
+  std::uint64_t hung_requests = 0;      ///< futures failed fast by the watchdog
+  std::uint64_t hung_batches = 0;       ///< batches flagged over the hang budget
+  std::uint64_t retries = 0;            ///< batch re-executions after transient faults
+  std::uint64_t quarantined = 0;        ///< sessions retired after corrupting faults
+  std::uint64_t breaker_trips = 0;      ///< normal → degraded transitions
+  std::uint64_t breaker_restores = 0;   ///< degraded → normal transitions
+  std::uint64_t degraded_batches = 0;   ///< batches executed in degraded mode
+  std::uint64_t batches = 0;            ///< micro-batches executed
+  std::uint64_t batched_requests = 0;   ///< requests summed over those batches
+  std::uint64_t max_batch_seen = 0;     ///< largest coalesced batch so far
+  std::uint64_t in_flight = 0;          ///< claimed by a worker, not yet resolved
+  bool degraded = false;                ///< breaker currently in degraded mode
 };
 
 class Server {
@@ -91,9 +160,11 @@ class Server {
   /// Enqueues one request and returns the future its outputs (or error)
   /// will arrive on.  Throws ShapeError/InvalidGraphError when the inputs
   /// don't satisfy the model's compatibility predicate, CancelledError
-  /// after shutdown began, and ResourceExhaustedError when the queue is at
-  /// capacity — the caller's signal to back off.
+  /// after shutdown began, ResourceExhaustedError when the queue is at
+  /// capacity — the caller's signal to back off — and DeadlineExceededError
+  /// when the submit options carry an already-expired deadline.
   std::future<std::vector<Tensor>> submit(std::vector<Tensor> inputs);
+  std::future<std::vector<Tensor>> submit(std::vector<Tensor> inputs, SubmitOptions options);
 
   /// Stops admission and joins the workers.  drain=true completes every
   /// queued request first; drain=false fails queued requests with
@@ -111,10 +182,44 @@ class Server {
   struct Request {
     std::vector<Tensor> inputs;
     std::promise<std::vector<Tensor>> promise;
+    std::chrono::steady_clock::time_point deadline = std::chrono::steady_clock::time_point::max();
+    /// Exactly-once resolution claim: whoever flips it owns the promise.
+    /// Workers, the watchdog, and shutdown all race through here safely.
+    std::atomic<bool> resolved{false};
+
+    bool claim() {
+      bool expected = false;
+      return resolved.compare_exchange_strong(expected, true, std::memory_order_acq_rel);
+    }
+    bool expired(std::chrono::steady_clock::time_point now) const {
+      return deadline != std::chrono::steady_clock::time_point::max() && now >= deadline;
+    }
   };
+  using RequestPtr = std::shared_ptr<Request>;
+
+  /// One batch currently executing, registered with the watchdog.
+  struct Inflight {
+    std::chrono::steady_clock::time_point started;
+    support::CancelToken* token = nullptr;
+    std::vector<RequestPtr> requests;
+    bool flagged = false;
+  };
+  using WatchHandle = std::optional<std::list<Inflight>::iterator>;
 
   void worker_loop();
-  void execute_batch(std::vector<Request>& batch);
+  void execute_batch(std::vector<RequestPtr>& batch, bool degraded);
+  void watchdog_loop();
+
+  bool resolve_value(Request& request, std::vector<Tensor> value);
+  bool resolve_error(Request& request, const std::exception_ptr& error,
+                     std::atomic<std::uint64_t>& counter);
+  void fail_batch(std::vector<RequestPtr>& batch, const std::exception_ptr& error);
+  void sweep_expired(std::vector<RequestPtr>& batch);
+  void backoff_sleep(std::size_t attempt);
+  void breaker_failure();
+  void breaker_success();
+  WatchHandle watch_begin(const std::vector<RequestPtr>& batch, support::CancelToken* token);
+  bool watch_end(WatchHandle& handle);
 
   std::shared_ptr<const CompiledModel> model_;
   ServerOptions options_;
@@ -122,7 +227,7 @@ class Server {
 
   std::mutex queue_mutex_;
   std::condition_variable queue_cv_;
-  std::deque<Request> queue_;
+  std::deque<RequestPtr> queue_;
   bool stopping_ = false;
   bool joined_ = false;
   std::mutex shutdown_mutex_;  ///< serializes concurrent shutdown() calls
@@ -133,9 +238,28 @@ class Server {
   std::unique_ptr<ThreadPool> worker_pool_;
   std::thread dispatcher_;
 
+  // ---- circuit breaker ------------------------------------------------------
+  std::mutex breaker_mutex_;
+  std::size_t consecutive_failures_ = 0;  ///< guarded by breaker_mutex_
+  std::size_t probe_successes_ = 0;       ///< guarded by breaker_mutex_
+  std::atomic<bool> degraded_{false};
+
+  // ---- retry jitter ---------------------------------------------------------
+  std::mutex rng_mutex_;
+  std::mt19937_64 rng_{0x7e4c0de5e271ull};  ///< guarded by rng_mutex_
+
+  // ---- watchdog (active only with a nonzero hang_budget) --------------------
+  std::mutex watch_mutex_;
+  std::condition_variable watch_cv_;
+  std::list<Inflight> watched_;  ///< guarded by watch_mutex_
+  bool watchdog_stop_ = false;   ///< guarded by watch_mutex_
+  std::thread watchdog_;
+
   struct Counters {
     std::atomic<std::uint64_t> accepted{0}, rejected{0}, completed{0}, failed{0}, cancelled{0},
-        batches{0}, batched_requests{0}, max_batch_seen{0}, in_flight{0};
+        deadline_rejected{0}, deadline_expired{0}, hung_requests{0}, hung_batches{0}, retries{0},
+        quarantined{0}, breaker_trips{0}, breaker_restores{0}, degraded_batches{0}, batches{0},
+        batched_requests{0}, max_batch_seen{0}, in_flight{0};
   };
   Counters counters_;
 };

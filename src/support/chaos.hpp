@@ -1,0 +1,168 @@
+// Chaos-sweep utilities over the failpoint registry.
+//
+// The chaos harness (tests/test_chaos.cpp) iterates failpoints::list(),
+// arms each site at randomized skip/hit counts under concurrent serving
+// load, and asserts the fault-tolerance invariants: every future resolves
+// with a value or a typed temco::Error, non-faulted requests stay bitwise
+// identical to fault-free runs, and the pool returns to steady state.  This
+// header holds the serve-independent pieces — deterministic plan
+// generation, typed outcome classification, and the per-site JSON summary
+// CI uploads as an artifact — so a future harness over a different surface
+// (e.g. direct Executor chaos) reuses them unchanged.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <exception>
+#include <map>
+#include <random>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "support/error.hpp"
+#include "support/failpoint.hpp"
+
+namespace temco::chaos {
+
+/// One arming decision for one site: let `skips` hits pass, then fire
+/// `count` times (failpoints::arm_after semantics).
+struct SitePlan {
+  std::string site;
+  std::int64_t skips = 0;
+  std::int64_t count = 1;
+};
+
+/// Deterministic randomized plans, one per registered failpoint, ordered by
+/// site name.  Seeded so a failing sweep reproduces exactly; randomized so
+/// faults land mid-stream — after warm-up, inside the Nth batch — instead of
+/// always on first touch.
+inline std::vector<SitePlan> plan_sweep(std::uint64_t seed, std::int64_t max_skips,
+                                        std::int64_t max_count) {
+  std::mt19937_64 rng(seed);
+  std::vector<SitePlan> plans;
+  for (const failpoints::SiteStatus& status : failpoints::list()) {
+    SitePlan plan;
+    plan.site = status.name;
+    plan.skips = static_cast<std::int64_t>(rng() % static_cast<std::uint64_t>(max_skips + 1));
+    plan.count = 1 + static_cast<std::int64_t>(rng() % static_cast<std::uint64_t>(max_count));
+    plans.push_back(std::move(plan));
+  }
+  return plans;
+}
+
+/// Typed classification of how one request resolved.  kForeign — an
+/// exception outside the temco::Error taxonomy — is the one class the chaos
+/// invariants forbid outright.
+enum class Outcome {
+  kSuccess,
+  kDeadline,
+  kCancelled,
+  kTransient,
+  kResource,
+  kNumeric,
+  kCorruption,
+  kShape,
+  kInvalidGraph,
+  kOtherTemco,
+  kForeign,
+};
+
+inline const char* outcome_name(Outcome outcome) {
+  switch (outcome) {
+    case Outcome::kSuccess: return "success";
+    case Outcome::kDeadline: return "deadline_exceeded";
+    case Outcome::kCancelled: return "cancelled";
+    case Outcome::kTransient: return "transient_fault";
+    case Outcome::kResource: return "resource_exhausted";
+    case Outcome::kNumeric: return "numeric_error";
+    case Outcome::kCorruption: return "memory_corruption";
+    case Outcome::kShape: return "shape_error";
+    case Outcome::kInvalidGraph: return "invalid_graph";
+    case Outcome::kOtherTemco: return "other_temco_error";
+    case Outcome::kForeign: return "FOREIGN_EXCEPTION";
+  }
+  return "unknown";
+}
+
+/// Classifies an exception_ptr (nullptr → kSuccess).  The catch order puts
+/// subtypes before the temco::Error catch-all.
+inline Outcome classify(const std::exception_ptr& error) {
+  if (error == nullptr) return Outcome::kSuccess;
+  try {
+    std::rethrow_exception(error);
+  } catch (const DeadlineExceededError&) {
+    return Outcome::kDeadline;
+  } catch (const CancelledError&) {
+    return Outcome::kCancelled;
+  } catch (const TransientFaultError&) {
+    return Outcome::kTransient;
+  } catch (const ResourceExhaustedError&) {
+    return Outcome::kResource;
+  } catch (const MemoryCorruptionError&) {
+    return Outcome::kCorruption;
+  } catch (const NumericError&) {
+    return Outcome::kNumeric;
+  } catch (const ShapeError&) {
+    return Outcome::kShape;
+  } catch (const InvalidGraphError&) {
+    return Outcome::kInvalidGraph;
+  } catch (const Error&) {
+    return Outcome::kOtherTemco;
+  } catch (...) {
+    return Outcome::kForeign;
+  }
+}
+
+/// Per-site tally the sweep accumulates and the JSON artifact reports.
+struct SiteReport {
+  std::string site;
+  std::int64_t skips = 0;             ///< the plan that was armed
+  std::int64_t count = 0;
+  std::int64_t requests = 0;          ///< requests issued while this site was armed
+  std::int64_t bitwise_checked = 0;   ///< successes verified bitwise vs fault-free
+  bool steady_state = false;          ///< pool full + clean probe after disarm
+  std::map<std::string, std::int64_t> outcomes;  ///< tally keyed by outcome_name
+
+  void record(Outcome outcome) {
+    ++requests;
+    ++outcomes[outcome_name(outcome)];
+  }
+
+  std::int64_t foreign() const {
+    auto it = outcomes.find(outcome_name(Outcome::kForeign));
+    return it == outcomes.end() ? 0 : it->second;
+  }
+};
+
+/// Writes the per-failpoint outcome summary CI uploads as an artifact.
+/// Returns false (without throwing) if the file cannot be written — the
+/// sweep's assertions matter more than its paperwork.
+inline bool write_summary_json(const std::string& path, const std::vector<SiteReport>& reports) {
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) return false;
+  std::fprintf(file, "{\n  \"sites\": [\n");
+  for (std::size_t i = 0; i < reports.size(); ++i) {
+    const SiteReport& report = reports[i];
+    std::fprintf(file,
+                 "    {\"site\": \"%s\", \"skips\": %lld, \"count\": %lld, "
+                 "\"requests\": %lld, \"bitwise_checked\": %lld, \"steady_state\": %s, "
+                 "\"outcomes\": {",
+                 report.site.c_str(), static_cast<long long>(report.skips),
+                 static_cast<long long>(report.count), static_cast<long long>(report.requests),
+                 static_cast<long long>(report.bitwise_checked),
+                 report.steady_state ? "true" : "false");
+    bool first = true;
+    for (const auto& [name, tally] : report.outcomes) {
+      std::fprintf(file, "%s\"%s\": %lld", first ? "" : ", ", name.c_str(),
+                   static_cast<long long>(tally));
+      first = false;
+    }
+    std::fprintf(file, "}}%s\n", i + 1 < reports.size() ? "," : "");
+  }
+  std::fprintf(file, "  ]\n}\n");
+  std::fclose(file);
+  return true;
+}
+
+}  // namespace temco::chaos

@@ -63,4 +63,24 @@ class CancelledError : public Error {
   using Error::Error;
 };
 
+/// A request's deadline passed — at admission, at batch formation, between
+/// executor waves, or because its batch exceeded the watchdog's hang budget.
+/// Not a CancelledError subtype: "the server gave up on you" and "you ran
+/// out of time" demand different client reactions (resubmit elsewhere vs
+/// relax the SLO), so they must be catchable separately.
+class DeadlineExceededError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// A spurious, non-corrupting fault that is safe to retry on the same
+/// session: the failed attempt never published partial results and left no
+/// lasting damage (the arena is rewritten from scratch every run).  The
+/// serving retry loop treats this class — plus ResourceExhaustedError — as
+/// transient; everything else is terminal for the attempt.
+class TransientFaultError : public Error {
+ public:
+  using Error::Error;
+};
+
 }  // namespace temco

@@ -14,13 +14,21 @@
 //   if (fp_oom.fire()) throw ResourceExhaustedError("simulated OOM");
 //
 // Arming:
-//   temco::failpoints::arm("allocator.oom");        // every hit fires
-//   temco::failpoints::arm("allocator.oom", 2);     // next two hits fire
+//   temco::failpoints::arm("allocator.oom");          // every hit fires
+//   temco::failpoints::arm("allocator.oom", 2);       // next two hits fire
+//   temco::failpoints::arm_after("allocator.oom", 5); // skip 5 hits, fire 1
 //   TEMCO_FAILPOINTS="allocator.oom,kernels.poison_nan=1" ./app
 //   { temco::failpoints::ScopedArm g("allocator.oom"); ... }  // RAII
+//
+// The environment spec is parsed lazily on the first arm/disarm/fire/list —
+// never during static initialization, so a malformed spec surfaces as a
+// typed temco::Error from the first failpoint interaction (catchable,
+// testable) instead of std::terminate before main.  apply_spec() exposes the
+// same parser directly.
 #pragma once
 
 #include <atomic>
+#include <cerrno>
 #include <cstdint>
 #include <cstdlib>
 #include <map>
@@ -30,15 +38,29 @@
 #include <vector>
 
 #include "support/check.hpp"
+#include "support/error.hpp"
 
 namespace temco::failpoints {
+
+/// Arming snapshot of one site, as returned by list().
+struct SiteStatus {
+  std::string name;
+  /// 0: disarmed; < 0: fires on every hit; > 0: fires that many more hits.
+  std::int64_t remaining = 0;
+  /// Hits still to be skipped before `remaining` starts being consumed.
+  std::int64_t skips = 0;
+
+  bool armed() const { return remaining != 0; }
+};
 
 namespace detail {
 
 /// remaining == 0: disarmed; < 0: fires on every hit; > 0: fires that many
-/// more hits, then disarms itself.
+/// more hits, then disarms itself.  While skip > 0, hits decrement skip and
+/// do not fire (arm_after's delayed one-shot mode).
 struct State {
   std::atomic<std::int64_t> remaining{0};
+  std::atomic<std::int64_t> skip{0};
 };
 
 class Registry {
@@ -51,6 +73,8 @@ class Registry {
   /// Returns the state for `name`, creating it on first reference (this is
   /// how both Site construction and arm() register names).  States are never
   /// destroyed, so the returned reference stays valid for the process.
+  /// Deliberately does NOT parse the environment: it runs during static
+  /// initialization of every Site, where a throw would be fatal.
   State& state(const std::string& name) {
     std::lock_guard<std::mutex> lock(mutex_);
     auto& slot = states_[name];
@@ -66,46 +90,98 @@ class Registry {
     return result;
   }
 
-  void disarm_all() {
+  std::vector<SiteStatus> statuses() const {
     std::lock_guard<std::mutex> lock(mutex_);
-    for (auto& [name, state] : states_) state->remaining.store(0, std::memory_order_relaxed);
+    std::vector<SiteStatus> result;
+    result.reserve(states_.size());
+    for (const auto& [name, state] : states_) {
+      SiteStatus status;
+      status.name = name;
+      status.remaining = state->remaining.load(std::memory_order_relaxed);
+      status.skips = state->skip.load(std::memory_order_relaxed);
+      result.push_back(std::move(status));
+    }
+    return result;
   }
 
- private:
-  Registry() { parse_env(); }
+  void disarm_all() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (auto& [name, state] : states_) {
+      state->remaining.store(0, std::memory_order_relaxed);
+      state->skip.store(0, std::memory_order_relaxed);
+    }
+  }
 
-  /// TEMCO_FAILPOINTS="name[,name=count]...": arms each listed failpoint;
-  /// a missing or unparsable count means "always".
-  void parse_env() {
-    const char* env = std::getenv("TEMCO_FAILPOINTS");
-    if (env == nullptr) return;
-    std::string spec(env);
+  /// Parses a TEMCO_FAILPOINTS-style spec ("name[,name=count]...") and arms
+  /// each entry.  Strict: an empty name, a non-numeric count, trailing
+  /// garbage after the digits, or a count of 0 raises temco::Error naming
+  /// the offending entry — nothing is armed on failure.
+  void apply_spec(const std::string& spec) {
+    struct Parsed {
+      std::string name;
+      std::int64_t count;
+    };
+    std::vector<Parsed> entries;
     std::size_t begin = 0;
     while (begin <= spec.size()) {
       std::size_t end = spec.find(',', begin);
       if (end == std::string::npos) end = spec.size();
       std::string entry = spec.substr(begin, end - begin);
+      const bool last = end == spec.size();
       begin = end + 1;
-      if (entry.empty()) continue;
+      if (entry.empty()) {
+        // A wholly empty spec is fine; an empty entry between commas is a
+        // typo worth rejecting ("a,,b" silently dropping a site is how an
+        // operator loses an injection they believed was live).
+        if (spec.empty() && last) break;
+        throw Error("malformed TEMCO_FAILPOINTS entry: empty name in \"" + spec + "\"");
+      }
       std::int64_t count = -1;
       const std::size_t eq = entry.find('=');
       if (eq != std::string::npos) {
         const std::string value = entry.substr(eq + 1);
         entry.resize(eq);
-        count = std::strtoll(value.c_str(), nullptr, 10);
-        if (count <= 0) count = -1;
+        if (entry.empty()) {
+          throw Error("malformed TEMCO_FAILPOINTS entry: empty name in \"=" + value + "\"");
+        }
+        char* parse_end = nullptr;
+        errno = 0;
+        count = std::strtoll(value.c_str(), &parse_end, 10);
+        if (value.empty() || parse_end != value.c_str() + value.size() || errno == ERANGE) {
+          throw Error("malformed TEMCO_FAILPOINTS count \"" + value + "\" for failpoint \"" +
+                      entry + "\": expected a nonzero integer");
+        }
+        if (count == 0) {
+          throw Error("TEMCO_FAILPOINTS count 0 for failpoint \"" + entry +
+                      "\" would be a silent no-op; omit the entry or use a nonzero count");
+        }
       }
-      // Cannot call state() here: the registry mutex is not yet needed (we
-      // are inside the constructor, single-threaded), but states_ access is
-      // uniform either way.
-      auto& slot = states_[entry];
-      if (slot == nullptr) slot = std::make_unique<State>();
-      slot->remaining.store(count, std::memory_order_relaxed);
+      entries.push_back({std::move(entry), count});
+      if (last) break;
+    }
+    for (auto& parsed : entries) {
+      State& slot = state(parsed.name);
+      slot.remaining.store(parsed.count, std::memory_order_relaxed);
+      slot.skip.store(0, std::memory_order_relaxed);
     }
   }
 
+  /// Applies TEMCO_FAILPOINTS exactly once per process, on the first call.
+  /// A malformed spec throws on every call until the process fixes it —
+  /// loud, typed, and impossible to mistake for a working injection.
+  void ensure_env_applied() {
+    std::call_once(env_once_, [this] {
+      const char* env = std::getenv("TEMCO_FAILPOINTS");
+      if (env != nullptr) apply_spec(env);
+    });
+  }
+
+ private:
+  Registry() = default;
+
   mutable std::mutex mutex_;
   std::map<std::string, std::unique_ptr<State>> states_;
+  std::once_flag env_once_;
 };
 
 }  // namespace detail
@@ -121,7 +197,19 @@ class Site {
   /// True when the site is armed (and consumes one count if counted).
   /// Disarmed cost: one relaxed load.
   bool fire() {
+    // Env arming is what flips `remaining` nonzero, so the spec must apply
+    // before the disarmed fast path can be trusted.  After the first call
+    // this is a single satisfied-once check.
+    detail::Registry::instance().ensure_env_applied();
     if (state_.remaining.load(std::memory_order_relaxed) == 0) return false;
+    // arm_after: consume a skip instead of firing while any remain.
+    for (;;) {
+      std::int64_t skips = state_.skip.load(std::memory_order_relaxed);
+      if (skips <= 0) break;
+      if (state_.skip.compare_exchange_weak(skips, skips - 1, std::memory_order_relaxed)) {
+        return false;
+      }
+    }
     for (;;) {
       std::int64_t current = state_.remaining.load(std::memory_order_relaxed);
       if (current == 0) return false;
@@ -142,13 +230,34 @@ class Site {
 
 /// Arms `name`: count < 0 fires on every hit, count > 0 fires on the next
 /// `count` hits.  Creates (registers) the name if no site declared it yet.
+/// Clears any pending arm_after skips.
 inline void arm(const std::string& name, std::int64_t count = -1) {
   TEMCO_CHECK(count != 0) << "arm with count 0 is a no-op; use disarm";
-  detail::Registry::instance().state(name).remaining.store(count, std::memory_order_relaxed);
+  detail::Registry::instance().ensure_env_applied();
+  detail::State& state = detail::Registry::instance().state(name);
+  state.skip.store(0, std::memory_order_relaxed);
+  state.remaining.store(count, std::memory_order_relaxed);
+}
+
+/// Delayed arming: the next `n_skips` hits pass through unharmed, then the
+/// following `count` hits fire (default: a one-shot).  This is what lets a
+/// chaos run land a fault mid-stream — after the warm-up requests, inside
+/// the Nth batch — instead of always on first touch.
+inline void arm_after(const std::string& name, std::int64_t n_skips, std::int64_t count = 1) {
+  TEMCO_CHECK(n_skips >= 0) << "arm_after needs a non-negative skip count";
+  TEMCO_CHECK(count != 0) << "arm_after with count 0 is a no-op; use disarm";
+  detail::Registry::instance().ensure_env_applied();
+  detail::State& state = detail::Registry::instance().state(name);
+  // Order matters for a concurrently firing site: publish the skip budget
+  // before remaining flips nonzero, so no hit can fire before the skips.
+  state.skip.store(n_skips, std::memory_order_relaxed);
+  state.remaining.store(count, std::memory_order_release);
 }
 
 inline void disarm(const std::string& name) {
-  detail::Registry::instance().state(name).remaining.store(0, std::memory_order_relaxed);
+  detail::State& state = detail::Registry::instance().state(name);
+  state.remaining.store(0, std::memory_order_relaxed);
+  state.skip.store(0, std::memory_order_relaxed);
 }
 
 inline void disarm_all() { detail::Registry::instance().disarm_all(); }
@@ -156,6 +265,20 @@ inline void disarm_all() { detail::Registry::instance().disarm_all(); }
 /// Every failpoint name known to the process: all Sites whose translation
 /// units are linked in, plus anything armed by env/API.
 inline std::vector<std::string> registered() { return detail::Registry::instance().names(); }
+
+/// Arming snapshot of every registered site — the registry iterator the
+/// chaos harness sweeps.  Ordered by name (map order) for determinism.
+inline std::vector<SiteStatus> list() {
+  detail::Registry::instance().ensure_env_applied();
+  return detail::Registry::instance().statuses();
+}
+
+/// Parses and applies one TEMCO_FAILPOINTS-style spec programmatically.
+/// Throws temco::Error (naming the offending entry) on malformed input;
+/// on failure nothing is armed.
+inline void apply_spec(const std::string& spec) {
+  detail::Registry::instance().apply_spec(spec);
+}
 
 /// RAII arm/disarm for tests.
 class ScopedArm {

@@ -8,6 +8,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cmath>
 #include <functional>
 #include <map>
@@ -21,6 +22,8 @@
 #include "parallel/thread_pool.hpp"
 #include "runtime/executor.hpp"
 #include "runtime/scheduler.hpp"
+#include "serve/compiled_model.hpp"
+#include "serve/session.hpp"
 #include "support/error.hpp"
 #include "support/failpoint.hpp"
 #include "support/rng.hpp"
@@ -48,6 +51,23 @@ ir::Graph tiny_decomposed(const std::string& name) {
 Tensor input_for(const ir::Graph& graph) {
   Rng rng(9);
   return Tensor::random_normal(graph.node(0).out_shape, rng);
+}
+
+/// Minimal serving artifact for the serve.* failpoint drivers: batch 1, no
+/// re-optimization (the graph is already decomposed; the sites under test
+/// live on the session execution path, not in the pipeline).
+std::shared_ptr<const serve::CompiledModel> serve_artifact(const ir::Graph& graph) {
+  serve::CompileOptions options;
+  options.optimize = false;
+  options.max_batch = 1;
+  return serve::CompiledModel::compile(graph, options);
+}
+
+std::int64_t remaining_for(const std::string& name) {
+  for (const failpoints::SiteStatus& status : failpoints::list()) {
+    if (status.name == name) return status.remaining;
+  }
+  return -999;
 }
 
 /// Drives the code path hosting a failpoint and classifies what escaped.
@@ -152,6 +172,35 @@ const std::map<std::string, FailpointCase>& failpoint_cases() {
           });
         },
         Outcome::kNoError}},
+      // Injected transient execution fault on the serving path: the typed
+      // class the server's retry loop keys on.
+      {"serve.exec_transient",
+       {[](const ir::Graph& g) {
+         return drive<TransientFaultError>([&] {
+           serve::Session session(serve_artifact(g));
+           session.run({input_for(g)});
+         });
+       }}},
+      // Simulated hung batch: parks until the session's cancel token stops
+      // it.  A pre-expired deadline releases it deterministically (no
+      // watchdog, no sleeps); the counted re-arm proves the site itself
+      // fired — with a deadline set, the executor would throw the same type
+      // even if the wedge were dead code.
+      {"serve.wedge_batch",
+       {[](const ir::Graph& g) {
+         return drive<DeadlineExceededError>([&] {
+           serve::Session session(serve_artifact(g));
+           failpoints::arm("serve.wedge_batch", 1);
+           session.cancel_token().set_deadline(std::chrono::steady_clock::now());
+           try {
+             session.run({input_for(g)});
+           } catch (...) {
+             TEMCO_CHECK(remaining_for("serve.wedge_batch") == 0)
+                 << "serve.wedge_batch never fired; the error came from elsewhere";
+             throw;
+           }
+         });
+       }}},
   };
   return cases;
 }
@@ -222,6 +271,87 @@ TEST(FailpointTest, ScopedArmDisarmsOnExit) {
     EXPECT_TRUE(site.fire());
   }
   EXPECT_FALSE(site.fire());
+}
+
+// ---- registry iteration and delayed arming ---------------------------------
+
+TEST(FailpointTest, ListReportsEveryRegisteredSiteWithArmingState) {
+  failpoints::disarm_all();
+  failpoints::arm("allocator.oom", 3);
+  failpoints::arm_after("kernels.poison_nan", 5, 2);
+  bool saw_oom = false;
+  bool saw_nan = false;
+  for (const failpoints::SiteStatus& status : failpoints::list()) {
+    if (status.name == "allocator.oom") {
+      saw_oom = true;
+      EXPECT_EQ(status.remaining, 3);
+      EXPECT_EQ(status.skips, 0);
+      EXPECT_TRUE(status.armed());
+    } else if (status.name == "kernels.poison_nan") {
+      saw_nan = true;
+      EXPECT_EQ(status.remaining, 2);
+      EXPECT_EQ(status.skips, 5);
+    } else {
+      EXPECT_FALSE(status.armed()) << status.name;
+    }
+  }
+  EXPECT_TRUE(saw_oom);
+  EXPECT_TRUE(saw_nan);
+  EXPECT_EQ(failpoints::list().size(), failpoints::registered().size());
+  failpoints::disarm_all();
+}
+
+TEST(FailpointTest, ArmAfterSkipsThenFiresExactlyOnce) {
+  failpoints::Site site{"allocator.oom"};
+  failpoints::arm_after("allocator.oom", 3);
+  EXPECT_FALSE(site.fire());  // skip 1
+  EXPECT_FALSE(site.fire());  // skip 2
+  EXPECT_FALSE(site.fire());  // skip 3
+  EXPECT_TRUE(site.fire());   // the one-shot
+  EXPECT_FALSE(site.fire());  // exhausted: self-disarmed
+  EXPECT_FALSE(site.fire());
+}
+
+TEST(FailpointTest, PlainArmClearsPendingSkips) {
+  failpoints::Site site{"allocator.oom"};
+  failpoints::arm_after("allocator.oom", 10);
+  failpoints::arm("allocator.oom", 1);  // replaces the delayed plan outright
+  EXPECT_TRUE(site.fire());
+  EXPECT_FALSE(site.fire());
+}
+
+// ---- env-spec parsing: strict, typed rejection -----------------------------
+
+TEST(FailpointSpecTest, ValidSpecArmsEveryEntry) {
+  failpoints::disarm_all();
+  failpoints::apply_spec("allocator.oom=2,kernels.poison_nan");
+  EXPECT_EQ(remaining_for("allocator.oom"), 2);
+  EXPECT_EQ(remaining_for("kernels.poison_nan"), -1);  // no count: always
+  failpoints::disarm_all();
+}
+
+TEST(FailpointSpecTest, MalformedSpecsThrowTypedAndArmNothing) {
+  failpoints::disarm_all();
+  EXPECT_THROW(failpoints::apply_spec("allocator.oom=abc"), Error);
+  EXPECT_THROW(failpoints::apply_spec("allocator.oom="), Error);
+  EXPECT_THROW(failpoints::apply_spec("allocator.oom=3x"), Error);
+  EXPECT_THROW(failpoints::apply_spec("allocator.oom=0"), Error);
+  EXPECT_THROW(failpoints::apply_spec("=3"), Error);
+  EXPECT_THROW(failpoints::apply_spec("allocator.oom,,kernels.poison_nan"), Error);
+  // Rejection is atomic: the valid prefix of a bad spec must not be armed.
+  for (const failpoints::SiteStatus& status : failpoints::list()) {
+    EXPECT_FALSE(status.armed()) << status.name << " armed by a rejected spec";
+  }
+}
+
+TEST(FailpointSpecTest, RejectionNamesTheOffendingEntry) {
+  try {
+    failpoints::apply_spec("allocator.oom=banana");
+    FAIL() << "malformed count was silently accepted";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("banana"), std::string::npos) << e.what();
+    EXPECT_NE(std::string(e.what()).find("allocator.oom"), std::string::npos) << e.what();
+  }
 }
 
 // ---- arena canaries detect a seeded out-of-slot write ----------------------

@@ -286,6 +286,56 @@ TEST(ScopedIntraOpPoolTest, UnqualifiedParallelForRunsOnTheScopedPool) {
   EXPECT_EQ(off_thread.load(), 0);
 }
 
+TEST(ScopedIntraOpPoolTest, RetiredScopedPoolRunsForcedIsaKernelsInlineWithoutDeadlock) {
+  // The serving shutdown order can leave a kernel's unqualified parallel_for
+  // resolving to a pool whose workers are already retired (ScopedIntraOpPool
+  // installed by a worker task that outlives the pool's shutdown).  The
+  // contract: the batch runs inline on the caller — same results, no
+  // deadlock — for every kernel tier this machine can execute.
+  namespace gemm = kernels::gemm;
+  const std::int64_t m = 64, n = 256, k = 128;
+  Rng rng(7);
+  std::vector<float> a(static_cast<std::size_t>(m * k));
+  std::vector<float> b(static_cast<std::size_t>(k * n));
+  for (float& x : a) x = rng.normal();
+  for (float& x : b) x = rng.normal();
+
+  for (gemm::Isa isa : gemm::reachable_isas()) {
+    gemm::ScopedIsa forced(isa);
+    gemm::GemmOptions serial;
+    serial.parallel = false;
+    std::vector<float> baseline(static_cast<std::size_t>(m * n));
+    gemm::gemm_direct(a.data(), k, m, k, b.data(), n, n, baseline.data(), n, serial);
+
+    ThreadPool retired(4);
+    retired.shutdown();
+    ScopedIntraOpPool scope(&retired);
+    gemm::GemmOptions options;
+    options.parallel = true;  // no explicit pool: resolves to the retired scoped one
+    std::vector<float> c(static_cast<std::size_t>(m * n));
+    gemm::gemm_direct(a.data(), k, m, k, b.data(), n, n, c.data(), n, options);
+    for (std::size_t i = 0; i < c.size(); ++i) {
+      ASSERT_EQ(baseline[i], c[i]) << support::isa_name(isa)
+                                   << " tier through a retired pool changed element " << i;
+    }
+  }
+
+  // And the inline guarantee itself: through a retired scoped pool, every
+  // chunk of an unqualified parallel_for stays on the calling thread.
+  ThreadPool retired(2);
+  retired.shutdown();
+  ScopedIntraOpPool scope(&retired);
+  const std::thread::id caller = std::this_thread::get_id();
+  std::atomic<int> off_thread{0};
+  parallel_for(
+      50000,
+      [&](std::size_t) {
+        if (std::this_thread::get_id() != caller) off_thread.fetch_add(1);
+      },
+      {.grain = 1});
+  EXPECT_EQ(off_thread.load(), 0);
+}
+
 // ---- bit-determinism across thread counts -----------------------------------
 
 /// The property the wavefront executor, the arena differential tests, and the
