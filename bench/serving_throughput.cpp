@@ -263,6 +263,52 @@ ModeResult run_faulted(const std::shared_ptr<const serve::CompiledModel>& model,
   return result;
 }
 
+/// Cold start: compile-at-boot (decompose + TeMCO pipeline + variant stamping
+/// + weight packing) versus loading the same model from a frozen artifact
+/// (mmap + validation, zero-copy weights).  The artifact is what a deploy
+/// actually ships, so load time is the real process-restart cost.
+struct ColdStartResult {
+  double compile_ms = 0.0;
+  double load_ms = 0.0;
+  std::size_t artifact_bytes = 0;
+  double speedup = 0.0;
+};
+
+ColdStartResult run_cold_start(const ir::Graph& original, const temco::bench::BenchConfig& gc,
+                               const std::string& name, std::size_t repeats) {
+  ColdStartResult result;
+  const std::string path = "BENCH_artifact_" + name + ".tmp";
+  serve::CompileOptions compile_options;
+  compile_options.max_batch = 8;
+  double best_compile = 0.0;
+  double best_load = 0.0;
+  for (std::size_t r = 0; r < std::max<std::size_t>(repeats, 1); ++r) {
+    Timer compile_timer;
+    const auto decomposed = temco::bench::decomposed_baseline(original, gc);
+    const auto compiled = serve::CompiledModel::compile(decomposed, compile_options);
+    const double compile_s = compile_timer.elapsed_seconds();
+    if (r == 0) compiled->save(path);
+
+    Timer load_timer;
+    const auto loaded = serve::CompiledModel::load(path);
+    const double load_s = load_timer.elapsed_seconds();
+    TEMCO_CHECK(loaded->max_batch() == compiled->max_batch()) << "artifact dropped variants";
+
+    if (best_compile == 0.0 || compile_s < best_compile) best_compile = compile_s;
+    if (best_load == 0.0 || load_s < best_load) best_load = load_s;
+  }
+  result.compile_ms = best_compile * 1e3;
+  result.load_ms = best_load * 1e3;
+  if (std::FILE* f = std::fopen(path.c_str(), "rb")) {
+    std::fseek(f, 0, SEEK_END);
+    result.artifact_bytes = static_cast<std::size_t>(std::ftell(f));
+    std::fclose(f);
+  }
+  result.speedup = result.load_ms > 0.0 ? result.compile_ms / result.load_ms : 0.0;
+  std::remove(path.c_str());
+  return result;
+}
+
 /// All unfaulted modes must produce the same bytes for the same request.
 void check_bit_identical(const ir::Graph& optimized_b1,
                          const std::shared_ptr<const serve::CompiledModel>& model,
@@ -318,6 +364,27 @@ void write_json(const std::vector<ModelReport>& reports, const ServingConfig& co
   std::printf("wrote BENCH_serving.json (%zu models x 4 modes)\n", reports.size());
 }
 
+void write_artifact_json(const std::vector<std::string>& names,
+                         const std::vector<ColdStartResult>& cold_starts) {
+  std::FILE* f = std::fopen("BENCH_artifact.json", "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write BENCH_artifact.json\n");
+    return;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"artifact_cold_start\",\n  \"rows\": [\n");
+  for (std::size_t i = 0; i < cold_starts.size(); ++i) {
+    const ColdStartResult& cs = cold_starts[i];
+    std::fprintf(f,
+                 "%s    {\"model\": \"%s\", \"compile_ms\": %.3f, \"load_ms\": %.3f, "
+                 "\"artifact_bytes\": %zu, \"speedup\": %.2f}",
+                 i == 0 ? "" : ",\n", names[i].c_str(), cs.compile_ms, cs.load_ms,
+                 cs.artifact_bytes, cs.speedup);
+  }
+  std::fprintf(f, "\n  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote BENCH_artifact.json (%zu models)\n", cold_starts.size());
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -331,6 +398,7 @@ int main(int argc, char** argv) {
 
   std::vector<ModelReport> reports;
   std::vector<double> speedups;
+  std::vector<ColdStartResult> cold_starts;
   for (const std::string& name : config.models) {
     const auto& spec = models::find_model(name);
     temco::bench::BenchConfig graph_config;
@@ -386,10 +454,29 @@ int main(int argc, char** argv) {
     }
     speedups.push_back(report.modes[2].requests_per_second / naive_rps);
     reports.push_back(std::move(report));
+    cold_starts.push_back(run_cold_start(original, graph_config, name, config.repeats));
   }
 
   std::printf("\ngeomean pool+batching speedup over naive: %.2fx (target: >= 2x)\n",
               temco::bench::geomean(speedups));
-  if (config.json) write_json(reports, config);
+
+  std::printf("\n=== Cold start: compile-at-boot vs artifact load ===\n");
+  std::printf("%-12s %12s %12s %12s %9s\n", "model", "compile", "load", "artifact",
+              "speedup");
+  std::vector<double> cold_speedups;
+  for (std::size_t i = 0; i < cold_starts.size(); ++i) {
+    const ColdStartResult& cs = cold_starts[i];
+    std::printf("%-12s %10.2fms %10.2fms %10.1fKiB %8.1fx\n", config.models[i].c_str(),
+                cs.compile_ms, cs.load_ms,
+                static_cast<double>(cs.artifact_bytes) / 1024.0, cs.speedup);
+    cold_speedups.push_back(cs.speedup);
+  }
+  std::printf("geomean artifact cold-start speedup: %.1fx (target: >= 10x)\n",
+              temco::bench::geomean(cold_speedups));
+
+  if (config.json) {
+    write_json(reports, config);
+    write_artifact_json(config.models, cold_starts);
+  }
   return 0;
 }

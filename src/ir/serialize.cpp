@@ -2,9 +2,29 @@
 
 #include <cstring>
 #include <fstream>
+#include <iterator>
 #include <limits>
+#include <ostream>
 
 namespace temco::ir {
+
+namespace wire {
+
+void Writer::str(const std::string& s) {
+  TEMCO_CHECK(s.size() <= std::numeric_limits<std::uint32_t>::max());
+  pod(static_cast<std::uint32_t>(s.size()));
+  raw(s.data(), s.size());
+}
+
+std::string Reader::str(std::size_t max_size) {
+  const auto size = pod<std::uint32_t>();
+  TEMCO_CHECK_AS(size <= max_size, InvalidGraphError) << "implausible string length " << size;
+  std::string s(size, '\0');
+  raw(s.data(), size);
+  return s;
+}
+
+}  // namespace wire
 
 namespace {
 
@@ -15,49 +35,6 @@ constexpr std::uint32_t kVersion = 1;
 /// hostile header asking for more is rejected before any allocation happens,
 /// so corrupt files cannot drive the process into the OOM killer.
 constexpr std::int64_t kMaxTensorNumel = std::int64_t{1} << 28;
-
-// ---- primitive writers/readers (little-endian native assumed; the format
-// is for same-machine deploy artifacts, not cross-platform interchange) ----
-
-template <typename T>
-void write_pod(std::ostream& out, const T& value) {
-  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
-  TEMCO_CHECK(out.good()) << "write failed";
-}
-
-template <typename T>
-T read_pod(std::istream& in) {
-  T value{};
-  in.read(reinterpret_cast<char*>(&value), sizeof(T));
-  TEMCO_CHECK_AS(in.good(), InvalidGraphError) << "truncated graph file";
-  return value;
-}
-
-void write_string(std::ostream& out, const std::string& s) {
-  TEMCO_CHECK(s.size() <= std::numeric_limits<std::uint32_t>::max());
-  write_pod(out, static_cast<std::uint32_t>(s.size()));
-  out.write(s.data(), static_cast<std::streamsize>(s.size()));
-  TEMCO_CHECK(out.good()) << "write failed";
-}
-
-std::string read_string(std::istream& in) {
-  const auto size = read_pod<std::uint32_t>(in);
-  TEMCO_CHECK_AS(size <= (1u << 20), InvalidGraphError) << "implausible string length " << size;
-  std::string s(size, '\0');
-  in.read(s.data(), size);
-  TEMCO_CHECK_AS(in.good(), InvalidGraphError) << "truncated graph file";
-  return s;
-}
-
-/// Reads an enum stored as u8, rejecting bytes outside [0, max_value]; an
-/// out-of-range enum would otherwise flow into switches as a non-value.
-template <typename E>
-E read_enum(std::istream& in, E max_value) {
-  const auto raw = read_pod<std::uint8_t>(in);
-  TEMCO_CHECK_AS(raw <= static_cast<std::uint8_t>(max_value), InvalidGraphError)
-      << "enum byte " << static_cast<int>(raw) << " out of range";
-  return static_cast<E>(raw);
-}
 
 /// Element count of `dims` with overflow detection; throws on overflow.
 std::int64_t checked_numel(const std::vector<std::int64_t>& dims) {
@@ -73,13 +50,13 @@ std::int64_t checked_numel(const std::vector<std::int64_t>& dims) {
   return numel;
 }
 
-std::vector<std::int64_t> read_dims(std::istream& in) {
-  const auto rank = read_pod<std::uint32_t>(in);
+std::vector<std::int64_t> read_dims(wire::Reader& in) {
+  const auto rank = in.pod<std::uint32_t>();
   TEMCO_CHECK_AS(rank <= 8, InvalidGraphError) << "implausible tensor rank " << rank;
   std::vector<std::int64_t> dims;
   dims.reserve(rank);
   for (std::uint32_t i = 0; i < rank; ++i) {
-    const auto d = read_pod<std::int64_t>(in);
+    const auto d = in.pod<std::int64_t>();
     TEMCO_CHECK_AS(d >= 0 && d <= (std::int64_t{1} << 32), InvalidGraphError)
         << "implausible dimension " << d;
     dims.push_back(d);
@@ -88,76 +65,73 @@ std::vector<std::int64_t> read_dims(std::istream& in) {
   return dims;
 }
 
-void write_attrs(std::ostream& out, const OpAttrs& a) {
-  write_pod(out, a.stride_h);
-  write_pod(out, a.stride_w);
-  write_pod(out, a.pad_h);
-  write_pod(out, a.pad_w);
-  write_pod(out, static_cast<std::uint8_t>(a.pool_kind));
-  write_pod(out, a.pool_kh);
-  write_pod(out, a.pool_kw);
-  write_pod(out, a.pool_sh);
-  write_pod(out, a.pool_sw);
-  write_pod(out, a.upsample_factor);
-  write_pod(out, static_cast<std::uint8_t>(a.act));
-  write_pod(out, static_cast<std::uint8_t>(a.fused_has_pool ? 1 : 0));
+void write_attrs(wire::Writer& out, const OpAttrs& a) {
+  out.pod(a.stride_h);
+  out.pod(a.stride_w);
+  out.pod(a.pad_h);
+  out.pod(a.pad_w);
+  out.pod(static_cast<std::uint8_t>(a.pool_kind));
+  out.pod(a.pool_kh);
+  out.pod(a.pool_kw);
+  out.pod(a.pool_sh);
+  out.pod(a.pool_sw);
+  out.pod(a.upsample_factor);
+  out.pod(static_cast<std::uint8_t>(a.act));
+  out.pod(static_cast<std::uint8_t>(a.fused_has_pool ? 1 : 0));
 }
 
-OpAttrs read_attrs(std::istream& in) {
+OpAttrs read_attrs(wire::Reader& in) {
   OpAttrs a;
-  a.stride_h = read_pod<std::int64_t>(in);
-  a.stride_w = read_pod<std::int64_t>(in);
-  a.pad_h = read_pod<std::int64_t>(in);
-  a.pad_w = read_pod<std::int64_t>(in);
-  a.pool_kind = read_enum(in, PoolKind::kAvg);
-  a.pool_kh = read_pod<std::int64_t>(in);
-  a.pool_kw = read_pod<std::int64_t>(in);
-  a.pool_sh = read_pod<std::int64_t>(in);
-  a.pool_sw = read_pod<std::int64_t>(in);
-  a.upsample_factor = read_pod<std::int64_t>(in);
-  a.act = read_enum(in, ActKind::kSilu);
-  a.fused_has_pool = read_pod<std::uint8_t>(in) != 0;
+  a.stride_h = in.pod<std::int64_t>();
+  a.stride_w = in.pod<std::int64_t>();
+  a.pad_h = in.pod<std::int64_t>();
+  a.pad_w = in.pod<std::int64_t>();
+  a.pool_kind = wire::read_enum(in, PoolKind::kAvg);
+  a.pool_kh = in.pod<std::int64_t>();
+  a.pool_kw = in.pod<std::int64_t>();
+  a.pool_sh = in.pod<std::int64_t>();
+  a.pool_sw = in.pod<std::int64_t>();
+  a.upsample_factor = in.pod<std::int64_t>();
+  a.act = wire::read_enum(in, ActKind::kSilu);
+  a.fused_has_pool = in.pod<std::uint8_t>() != 0;
   return a;
 }
 
-void write_tensor(std::ostream& out, const Tensor& t) {
-  write_pod(out, static_cast<std::uint32_t>(t.shape().rank()));
-  for (std::size_t i = 0; i < t.shape().rank(); ++i) write_pod(out, t.shape()[i]);
-  out.write(reinterpret_cast<const char*>(t.data()),
-            static_cast<std::streamsize>(t.bytes()));
-  TEMCO_CHECK(out.good()) << "write failed";
+void write_tensor(wire::Writer& out, const Tensor& t) {
+  out.pod(static_cast<std::uint32_t>(t.shape().rank()));
+  for (std::size_t i = 0; i < t.shape().rank(); ++i) out.pod(t.shape()[i]);
+  out.raw(t.data(), static_cast<std::size_t>(t.bytes()));
 }
 
-Tensor read_tensor(std::istream& in) {
+Tensor read_tensor(wire::Reader& in) {
   Tensor t = Tensor::zeros(Shape(read_dims(in)));
-  in.read(reinterpret_cast<char*>(t.data()), static_cast<std::streamsize>(t.bytes()));
-  TEMCO_CHECK_AS(in.good(), InvalidGraphError) << "truncated graph file";
+  in.raw(t.data(), static_cast<std::size_t>(t.bytes()));
   return t;
 }
 
-Graph load_graph_impl(std::istream& in) {
+Graph load_graph_impl(wire::Reader& in) {
   char magic[4];
-  in.read(magic, sizeof(magic));
-  TEMCO_CHECK_AS(in.good() && std::memcmp(magic, kMagic, 4) == 0, InvalidGraphError)
+  in.raw(magic, sizeof(magic));
+  TEMCO_CHECK_AS(std::memcmp(magic, kMagic, 4) == 0, InvalidGraphError)
       << "not a TeMCO graph file";
-  const auto version = read_pod<std::uint32_t>(in);
+  const auto version = in.pod<std::uint32_t>();
   TEMCO_CHECK_AS(version == kVersion, InvalidGraphError)
       << "unsupported graph file version " << version;
 
   Graph graph;
-  const auto node_count = read_pod<std::uint32_t>(in);
+  const auto node_count = in.pod<std::uint32_t>();
   TEMCO_CHECK_AS(node_count <= (1u << 24), InvalidGraphError)
       << "implausible node count " << node_count;
   for (std::uint32_t i = 0; i < node_count; ++i) {
     Node node;
-    node.kind = read_enum(in, OpKind::kFusedConvActConv);
-    node.provenance = read_enum(in, Provenance::kLconv);
-    node.original_flops = read_pod<std::int64_t>(in);
-    node.name = read_string(in);
-    const auto input_count = read_pod<std::uint32_t>(in);
+    node.kind = wire::read_enum(in, OpKind::kFusedConvActConv);
+    node.provenance = wire::read_enum(in, Provenance::kLconv);
+    node.original_flops = in.pod<std::int64_t>();
+    node.name = in.str();
+    const auto input_count = in.pod<std::uint32_t>();
     TEMCO_CHECK_AS(input_count <= node_count, InvalidGraphError) << "implausible input count";
     for (std::uint32_t j = 0; j < input_count; ++j) {
-      const auto id = read_pod<ValueId>(in);
+      const auto id = in.pod<ValueId>();
       TEMCO_CHECK_AS(id >= 0 && static_cast<std::uint32_t>(id) < i, InvalidGraphError)
           << node.name << ": input id " << id << " violates SSA order";
       node.inputs.push_back(id);
@@ -166,18 +140,18 @@ Graph load_graph_impl(std::istream& in) {
     if (node.kind == OpKind::kInput) {
       node.out_shape = Shape(read_dims(in));
     }
-    const auto weight_count = read_pod<std::uint32_t>(in);
+    const auto weight_count = in.pod<std::uint32_t>();
     TEMCO_CHECK_AS(weight_count <= 8, InvalidGraphError)
         << "implausible weight count " << weight_count;
     for (std::uint32_t j = 0; j < weight_count; ++j) node.weights.push_back(read_tensor(in));
     graph.append(std::move(node));
   }
-  const auto output_count = read_pod<std::uint32_t>(in);
+  const auto output_count = in.pod<std::uint32_t>();
   TEMCO_CHECK_AS(output_count >= 1 && output_count <= node_count, InvalidGraphError)
       << "implausible output count " << output_count;
   std::vector<ValueId> outputs;
   for (std::uint32_t i = 0; i < output_count; ++i) {
-    const auto id = read_pod<ValueId>(in);
+    const auto id = in.pod<ValueId>();
     TEMCO_CHECK_AS(id >= 0 && static_cast<std::uint32_t>(id) < node_count, InvalidGraphError)
         << "output id " << id << " is not a graph value";
     outputs.push_back(id);
@@ -190,38 +164,45 @@ Graph load_graph_impl(std::istream& in) {
 
 }  // namespace
 
-void save_graph(const Graph& graph, std::ostream& out) {
+void save_graph(const Graph& graph, wire::Writer& out) {
   graph.verify();
-  out.write(kMagic, sizeof(kMagic));
-  write_pod(out, kVersion);
-  write_pod(out, static_cast<std::uint32_t>(graph.size()));
+  out.raw(kMagic, sizeof(kMagic));
+  out.pod(kVersion);
+  out.pod(static_cast<std::uint32_t>(graph.size()));
   for (const Node& node : graph.nodes()) {
-    write_pod(out, static_cast<std::uint8_t>(node.kind));
-    write_pod(out, static_cast<std::uint8_t>(node.provenance));
-    write_pod(out, node.original_flops);
-    write_string(out, node.name);
-    write_pod(out, static_cast<std::uint32_t>(node.inputs.size()));
-    for (const ValueId in : node.inputs) write_pod(out, in);
+    out.pod(static_cast<std::uint8_t>(node.kind));
+    out.pod(static_cast<std::uint8_t>(node.provenance));
+    out.pod(node.original_flops);
+    out.str(node.name);
+    out.pod(static_cast<std::uint32_t>(node.inputs.size()));
+    for (const ValueId in : node.inputs) out.pod(in);
     write_attrs(out, node.attrs);
     // Input nodes carry their shape in out_shape (no weights encode it).
     if (node.kind == OpKind::kInput) {
-      write_pod(out, static_cast<std::uint32_t>(node.out_shape.rank()));
+      out.pod(static_cast<std::uint32_t>(node.out_shape.rank()));
       for (std::size_t i = 0; i < node.out_shape.rank(); ++i) {
-        write_pod(out, node.out_shape[i]);
+        out.pod(node.out_shape[i]);
       }
     }
-    write_pod(out, static_cast<std::uint32_t>(node.weights.size()));
+    out.pod(static_cast<std::uint32_t>(node.weights.size()));
     for (const Tensor& w : node.weights) write_tensor(out, w);
   }
-  write_pod(out, static_cast<std::uint32_t>(graph.outputs().size()));
-  for (const ValueId o : graph.outputs()) write_pod(out, o);
+  out.pod(static_cast<std::uint32_t>(graph.outputs().size()));
+  for (const ValueId o : graph.outputs()) out.pod(o);
 }
 
-Graph load_graph(std::istream& in) {
+void save_graph(const Graph& graph, std::ostream& out) {
+  wire::Writer writer;
+  save_graph(graph, writer);
+  out.write(writer.bytes().data(), static_cast<std::streamsize>(writer.size()));
+  TEMCO_CHECK(out.good()) << "write failed";
+}
+
+Graph load_graph(wire::Reader& in) {
   // The temco::Error guarantee: malformed input must never surface foreign
   // exception types.  Individual checks already throw typed errors; this
   // wrapper converts the two escapes the standard library can still produce
-  // (allocation failure, stream-configured ios failures).
+  // (allocation failure, unexpected library exceptions).
   try {
     return load_graph_impl(in);
   } catch (const Error&) {
@@ -231,6 +212,19 @@ Graph load_graph(std::istream& in) {
   } catch (const std::exception& e) {
     throw InvalidGraphError(std::string("malformed graph file: ") + e.what());
   }
+}
+
+Graph load_graph(std::istream& in) {
+  std::string bytes;
+  try {
+    bytes.assign(std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>());
+  } catch (const std::bad_alloc&) {
+    throw ResourceExhaustedError("out of memory reading graph stream");
+  } catch (const std::exception& e) {
+    throw InvalidGraphError(std::string("unreadable graph stream: ") + e.what());
+  }
+  wire::Reader reader(bytes.data(), bytes.size());
+  return load_graph(reader);
 }
 
 void save_graph_file(const Graph& graph, const std::string& path) {

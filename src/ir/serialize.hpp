@@ -11,12 +11,123 @@
 //             u32 input_count + i32 inputs, packed OpAttrs,
 //             u32 weight_count + per weight (u32 rank + i64 dims + f32 data)
 //   u32 output_count + i32 outputs
+//
+// The wire::Reader / wire::Writer primitives below are shared with the
+// serving artifact format (serve/artifact.hpp): every multi-byte field is
+// little-endian, every read is bounds-checked against the buffer before any
+// allocation or pointer arithmetic trusts it, and every failure surfaces as
+// a typed temco::Error — the hostile-input contract both formats are tested
+// against (tests/test_serialize_hostile.cpp, tests/test_artifact_hostile.cpp).
 #pragma once
 
+#include <cstdint>
+#include <cstring>
 #include <iosfwd>
 #include <string>
+#include <type_traits>
 
 #include "ir/graph.hpp"
+#include "support/error.hpp"
+
+namespace temco::ir::wire {
+
+/// Append-only little-endian byte builder.  Writers never fail (memory is the
+/// only resource); the resulting buffer is handed to the caller to place.
+class Writer {
+ public:
+  template <typename T>
+  void pod(const T& value) {
+    static_assert(std::is_trivially_copyable_v<T>, "pod() writes raw object bytes");
+    raw(&value, sizeof(T));
+  }
+
+  void raw(const void* data, std::size_t n) {
+    out_.append(static_cast<const char*>(data), n);
+  }
+
+  /// u32 length prefix + bytes.
+  void str(const std::string& s);
+
+  /// Pads with zero bytes until size() is a multiple of `alignment`.
+  void align_to(std::size_t alignment) {
+    while (out_.size() % alignment != 0) out_.push_back('\0');
+  }
+
+  std::size_t size() const { return out_.size(); }
+  const std::string& bytes() const { return out_; }
+  std::string take() { return std::move(out_); }
+
+ private:
+  std::string out_;
+};
+
+/// Bounds-checked little-endian reader over an in-memory byte buffer.  Every
+/// primitive validates that the bytes exist before touching them and throws
+/// InvalidGraphError("truncated ...") otherwise — a hostile length field can
+/// never drive an over-read.  The buffer is borrowed, never owned.
+class Reader {
+ public:
+  Reader(const void* data, std::size_t size)
+      : data_(static_cast<const unsigned char*>(data)), size_(size) {}
+
+  template <typename T>
+  T pod() {
+    static_assert(std::is_trivially_copyable_v<T>, "pod() reads raw object bytes");
+    T value{};
+    raw(&value, sizeof(T));
+    return value;
+  }
+
+  void raw(void* dst, std::size_t n) {
+    TEMCO_CHECK_AS(n <= size_ - offset_, InvalidGraphError)
+        << "truncated input: need " << n << " bytes at offset " << offset_ << ", have "
+        << (size_ - offset_);
+    std::memcpy(dst, data_ + offset_, n);
+    offset_ += n;
+  }
+
+  /// Reads a u32-length-prefixed string, rejecting implausible lengths
+  /// before allocating.
+  std::string str(std::size_t max_size = 1u << 20);
+
+  /// Borrows `n` bytes in place (no copy) and advances.  The returned pointer
+  /// aliases the underlying buffer and shares its lifetime.
+  const unsigned char* view(std::size_t n) {
+    TEMCO_CHECK_AS(n <= size_ - offset_, InvalidGraphError)
+        << "truncated input: need " << n << " bytes at offset " << offset_ << ", have "
+        << (size_ - offset_);
+    const unsigned char* p = data_ + offset_;
+    offset_ += n;
+    return p;
+  }
+
+  std::size_t offset() const { return offset_; }
+  std::size_t remaining() const { return size_ - offset_; }
+
+  /// Rejects trailing garbage: a well-formed payload must consume its whole
+  /// section, or a corrupted length field went unnoticed.
+  void expect_exhausted(const char* what) const {
+    TEMCO_CHECK_AS(offset_ == size_, InvalidGraphError)
+        << what << ": " << (size_ - offset_) << " trailing bytes after the payload";
+  }
+
+ private:
+  const unsigned char* data_;
+  std::size_t size_;
+  std::size_t offset_ = 0;
+};
+
+/// Reads an enum stored as u8, rejecting bytes outside [0, max_value]; an
+/// out-of-range enum would otherwise flow into switches as a non-value.
+template <typename E>
+E read_enum(Reader& in, E max_value) {
+  const auto raw = in.pod<std::uint8_t>();
+  TEMCO_CHECK_AS(raw <= static_cast<std::uint8_t>(max_value), InvalidGraphError)
+      << "enum byte " << static_cast<int>(raw) << " out of range";
+  return static_cast<E>(raw);
+}
+
+}  // namespace temco::ir::wire
 
 namespace temco::ir {
 
@@ -25,9 +136,18 @@ namespace temco::ir {
 void save_graph(const Graph& graph, std::ostream& out);
 void save_graph_file(const Graph& graph, const std::string& path);
 
+/// Appends the graph's serialized form to a wire builder (the artifact
+/// writer embeds graphs as sections this way).
+void save_graph(const Graph& graph, wire::Writer& out);
+
 /// Reads a graph written by save_graph; shapes are re-inferred and the
 /// result verified.  Throws temco::Error on malformed input.
 Graph load_graph(std::istream& in);
 Graph load_graph_file(const std::string& path);
+
+/// Reads a graph from an in-memory buffer via the bounds-checked reader.
+/// Does NOT require the reader to be exhausted afterwards — callers embedding
+/// graphs in larger formats check their own section boundaries.
+Graph load_graph(wire::Reader& in);
 
 }  // namespace temco::ir

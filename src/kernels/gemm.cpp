@@ -306,6 +306,12 @@ Isa active_isa() { return active_ops().isa; }
 
 const char* active_isa_name() { return active_ops().name; }
 
+void check_pack_layout(std::uint32_t stamped) {
+  TEMCO_CHECK_AS(stamped == kPackLayoutVersion, InvalidGraphError)
+      << "packed weights use panel layout v" << stamped << " but this runtime expects v"
+      << kPackLayoutVersion << "; recompile the model";
+}
+
 std::vector<Isa> reachable_isas() {
   std::vector<Isa> result;
   for (const Isa isa : {Isa::kScalar, Isa::kAvx2, Isa::kAvx512, Isa::kNeon}) {

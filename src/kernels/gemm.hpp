@@ -68,6 +68,11 @@ inline constexpr std::int64_t kNC = 512;
 /// silently misreading panels.
 inline constexpr std::uint32_t kPackLayoutVersion = 1;
 
+/// Rejects a stamped pack-layout version that this binary cannot interpret,
+/// naming both versions.  Shared by CompiledModel::revalidate_kernel_dispatch
+/// and the artifact loader so the two paths cannot drift.
+void check_pack_layout(std::uint32_t stamped);
+
 // ---- runtime ISA dispatch ---------------------------------------------------
 
 /// The tier the next GEMM call will dispatch to: compiled-in ∧ CPU-supported

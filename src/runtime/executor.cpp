@@ -106,19 +106,24 @@ void run_node(const ir::Node& node, const std::vector<const Tensor*>& in, Tensor
 
 }  // namespace
 
+std::int64_t PackedWeights::node_floats(const ir::Graph& graph, const ir::Node& node) {
+  if (node.kind == ir::OpKind::kConv2d) {
+    return kernels::conv2d_prepack_floats(node.weights[0], node.attrs.stride_h,
+                                          node.attrs.stride_w, node.out_shape[3]);
+  }
+  if (node.kind == ir::OpKind::kFusedConvActConv) {
+    return kernels::fused_prepack_floats(node.weights[0], node.weights[2],
+                                         graph.node(node.inputs[0]).out_shape[3],
+                                         node.out_shape[3]);
+  }
+  return 0;
+}
+
 PackedWeights PackedWeights::build(const ir::Graph& graph) {
   PackedWeights packed;
   packed.blobs.resize(graph.size());
   for (const ir::Node& node : graph.nodes()) {
-    std::int64_t floats = 0;
-    if (node.kind == ir::OpKind::kConv2d) {
-      floats = kernels::conv2d_prepack_floats(node.weights[0], node.attrs.stride_h,
-                                              node.attrs.stride_w, node.out_shape[3]);
-    } else if (node.kind == ir::OpKind::kFusedConvActConv) {
-      floats = kernels::fused_prepack_floats(node.weights[0], node.weights[2],
-                                             graph.node(node.inputs[0]).out_shape[3],
-                                             node.out_shape[3]);
-    }
+    const std::int64_t floats = node_floats(graph, node);
     if (floats == 0) continue;
     auto& blob = packed.blobs[static_cast<std::size_t>(node.id)];
     blob.resize(static_cast<std::size_t>(floats));
@@ -166,8 +171,8 @@ Executor::Executor(const ir::Graph& graph, ExecutorOptions options, const Execut
     intra_pool_ = std::make_unique<ThreadPool>(options_.intra_op_threads);
   }
   if (binding.prepack != nullptr) {
-    TEMCO_CHECK_AS(binding.prepack->blobs.size() == graph_.size(), InvalidGraphError)
-        << "bound PackedWeights was built for a graph of " << binding.prepack->blobs.size()
+    TEMCO_CHECK_AS(binding.prepack->size() == graph_.size(), InvalidGraphError)
+        << "bound PackedWeights was built for a graph of " << binding.prepack->size()
         << " nodes, this graph has " << graph_.size();
     prepack_ = binding.prepack;
   } else {

@@ -73,9 +73,27 @@ struct PackedWeights {
   std::vector<std::vector<float>> blobs;
   std::int64_t bytes = 0;
 
+  /// Zero-copy mode (serve/artifact.hpp): non-empty `views` overrides
+  /// `blobs` and resolves blob(id) to borrowed storage — typically the
+  /// page-aligned packed-weight section of an mmapped artifact, so N
+  /// processes share one physical copy.  Whoever fills `views` must keep the
+  /// backing bytes alive and 64-byte aligned for as long as this object is
+  /// used (the loaded CompiledModel co-owns its mapping for exactly this).
+  std::vector<const float*> views;
+
   static PackedWeights build(const ir::Graph& graph);
 
+  /// Floats PackedWeights::build would pack for this node (0: the node's
+  /// kernels read weights in place).  The artifact loader re-derives every
+  /// blob's expected size through this — a stored length is never trusted,
+  /// only compared.
+  static std::int64_t node_floats(const ir::Graph& graph, const ir::Node& node);
+
+  /// Nodes covered (== graph size in either storage mode).
+  std::size_t size() const { return views.empty() ? blobs.size() : views.size(); }
+
   const float* blob(ir::ValueId id) const {
+    if (!views.empty()) return views[static_cast<std::size_t>(id)];
     const auto& b = blobs[static_cast<std::size_t>(id)];
     return b.empty() ? nullptr : b.data();
   }

@@ -65,10 +65,7 @@ std::shared_ptr<const CompiledModel> CompiledModel::compile(const ir::Graph& gra
 }
 
 void CompiledModel::revalidate_kernel_dispatch() const {
-  TEMCO_CHECK_AS(pack_layout_version_ == kernels::gemm::kPackLayoutVersion, InvalidGraphError)
-      << "artifact packed weights use panel layout v" << pack_layout_version_
-      << " but this runtime expects v" << kernels::gemm::kPackLayoutVersion
-      << "; recompile the model";
+  kernels::gemm::check_pack_layout(pack_layout_version_);
   const support::Isa active = kernels::gemm::active_isa();
   if (active != kernel_isa_) {
     TEMCO_WARN() << "kernel-isa-drift: artifact compiled under "

@@ -20,6 +20,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "core/temco.hpp"
@@ -63,6 +64,22 @@ class CompiledModel {
   /// const is load-bearing: the artifact is shared across threads unlocked.
   static std::shared_ptr<const CompiledModel> compile(const ir::Graph& graph,
                                                       CompileOptions options = {});
+
+  // ---- on-disk artifacts (serve/artifact.hpp) ------------------------------
+
+  /// Freezes this model to a versioned artifact file: every batch variant's
+  /// schedule, every validated arena plan, the shared packed-weight blob, and
+  /// the compatibility stamps, section-tabled and checksummed.  Throws
+  /// temco::Error on I/O failure.
+  void save(const std::string& path) const;
+
+  /// Loads an artifact written by save().  The packed-weight section is
+  /// mapped zero-copy when the platform allows (the returned model co-owns
+  /// the mapping); every length, offset, count, and enum in the file is
+  /// bounds-checked and every stamp re-validated before anything is trusted —
+  /// malformed or incompatible input throws a typed temco::Error, never
+  /// crashes.  The result is interchangeable with compile()'s.
+  static std::shared_ptr<const CompiledModel> load(const std::string& path);
 
   std::size_t max_batch() const { return options_.max_batch; }
   const CompileOptions& options() const { return options_; }
@@ -119,6 +136,8 @@ class CompiledModel {
   void check_compatible(const std::vector<Tensor>& inputs) const;
 
  private:
+  friend class ArtifactCodec;  ///< serve/artifact.cpp: the save/load implementation
+
   CompiledModel() = default;
 
   std::size_t index(std::size_t batch) const {
@@ -138,6 +157,11 @@ class CompiledModel {
   std::uint32_t pack_layout_version_ = 0;
   std::vector<Shape> input_shapes_;   ///< batch-1 input templates, in input order
   std::vector<Shape> output_shapes_;  ///< batch-1 output templates, in output order
+
+  /// Keep-alive for zero-copy loads: when prepack_.views borrows from an
+  /// mmapped artifact, this co-owns the mapping.  Null for compiled models
+  /// and copy-mode loads.
+  std::shared_ptr<const void> artifact_owner_;
 };
 
 }  // namespace temco::serve

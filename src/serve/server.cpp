@@ -482,4 +482,132 @@ ServerStats Server::stats() const {
   return snapshot;
 }
 
+// ---- ArtifactRegistry -------------------------------------------------------
+
+ArtifactRegistry::ArtifactRegistry(ServerOptions defaults) : defaults_(defaults) {}
+
+ArtifactRegistry::~ArtifactRegistry() {
+  // Collect under the lock, drain outside it: shutdown() joins workers whose
+  // submit retries may need the registry lock.
+  std::vector<std::shared_ptr<Server>> servers;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (auto& [name, entry] : entries_) servers.push_back(std::move(entry.server));
+    entries_.clear();
+  }
+  for (const auto& server : servers) server->shutdown(true);
+}
+
+std::shared_ptr<Server> ArtifactRegistry::replace(const std::string& name,
+                                                  std::shared_ptr<const CompiledModel> model,
+                                                  std::optional<ServerOptions> options,
+                                                  bool must_exist) {
+  // Server construction (sessions, slabs, workers) happens before the lock is
+  // taken, so a heavyweight deploy never stalls routing for other names.
+  // The options are resolved first (a swap inherits the incumbent's), which
+  // needs one short lock; the window between resolve and swap only matters
+  // for concurrent swaps of the same name, where last-in wins anyway.
+  ServerOptions resolved = options.value_or(defaults_);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = entries_.find(name);
+    TEMCO_CHECK_AS(!must_exist || it != entries_.end(), InvalidGraphError)
+        << "swap target '" << name << "' is not currently serving; install it first";
+    if (!options.has_value() && it != entries_.end()) resolved = it->second.options;
+  }
+  auto fresh = std::make_shared<Server>(std::move(model), resolved);
+
+  std::shared_ptr<Server> old;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    Entry& entry = entries_[name];
+    old = std::move(entry.server);
+    entry.server = fresh;
+    entry.options = resolved;
+  }
+  // Drain the displaced server after the swap is visible: requests it
+  // already accepted complete on the old model; anything arriving now lands
+  // on the new one.
+  if (old != nullptr) old->shutdown(true);
+  return fresh;
+}
+
+std::shared_ptr<Server> ArtifactRegistry::install(const std::string& name,
+                                                  std::shared_ptr<const CompiledModel> model) {
+  return replace(name, std::move(model), std::nullopt, /*must_exist=*/false);
+}
+
+std::shared_ptr<Server> ArtifactRegistry::install(const std::string& name,
+                                                  std::shared_ptr<const CompiledModel> model,
+                                                  ServerOptions options) {
+  return replace(name, std::move(model), options, /*must_exist=*/false);
+}
+
+std::shared_ptr<Server> ArtifactRegistry::install_file(const std::string& name,
+                                                       const std::string& path) {
+  return replace(name, CompiledModel::load(path), std::nullopt, /*must_exist=*/false);
+}
+
+std::shared_ptr<Server> ArtifactRegistry::swap(const std::string& name,
+                                               std::shared_ptr<const CompiledModel> model) {
+  return replace(name, std::move(model), std::nullopt, /*must_exist=*/true);
+}
+
+std::shared_ptr<Server> ArtifactRegistry::swap_file(const std::string& name,
+                                                    const std::string& path) {
+  return replace(name, CompiledModel::load(path), std::nullopt, /*must_exist=*/true);
+}
+
+std::future<std::vector<Tensor>> ArtifactRegistry::submit(const std::string& name,
+                                                          std::vector<Tensor> inputs,
+                                                          SubmitOptions options) {
+  for (;;) {
+    std::shared_ptr<Server> target = server(name);
+    try {
+      // Tensors are handle-copied; keep `inputs` intact in case of a retry.
+      return target->submit(inputs, options);
+    } catch (const CancelledError&) {
+      // The target refused admission because it is shutting down.  If it was
+      // hot-swapped out from under us, route to its replacement; if the name
+      // is genuinely being retired (same server still mapped, or gone), the
+      // cancellation — or server()'s unknown-name error — is the answer.
+      std::shared_ptr<Server> current;
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        const auto it = entries_.find(name);
+        current = it != entries_.end() ? it->second.server : nullptr;
+      }
+      if (current == target || current == nullptr) throw;
+    }
+  }
+}
+
+std::shared_ptr<Server> ArtifactRegistry::server(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = entries_.find(name);
+  TEMCO_CHECK_AS(it != entries_.end(), InvalidGraphError)
+      << "no model installed under '" << name << "'";
+  return it->second.server;
+}
+
+std::vector<std::string> ArtifactRegistry::names() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> result;
+  result.reserve(entries_.size());
+  for (const auto& [name, entry] : entries_) result.push_back(name);
+  return result;
+}
+
+void ArtifactRegistry::remove(const std::string& name) {
+  std::shared_ptr<Server> old;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = entries_.find(name);
+    if (it == entries_.end()) return;
+    old = std::move(it->second.server);
+    entries_.erase(it);
+  }
+  old->shutdown(true);
+}
+
 }  // namespace temco::serve

@@ -52,10 +52,12 @@
 #include <deque>
 #include <future>
 #include <list>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <optional>
 #include <random>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -173,6 +175,7 @@ class Server {
 
   ServerStats stats() const;
   const CompiledModel& model() const { return *model_; }
+  std::shared_ptr<const CompiledModel> shared_model() const { return model_; }
 
   /// The underlying pool — exposed so tests can stall workers by holding
   /// leases and benchmarks can report resident bytes.
@@ -262,6 +265,82 @@ class Server {
         batched_requests{0}, max_batch_seen{0}, in_flight{0};
   };
   Counters counters_;
+};
+
+/// Named models behind one front door, with atomic hot swap.
+///
+/// Each name maps to a live Server.  install() (and swap(), which insists the
+/// name already exists) builds the replacement server *outside* the registry
+/// lock — compilation or artifact loading never blocks routing — then swaps
+/// the map entry atomically and drains the old server: in-flight and queued
+/// requests complete on the model that accepted them, new submissions land on
+/// the new model, and nothing is dropped in between.  submit() closes the
+/// unavoidable race (lookup → swap → submit would see the old server refuse
+/// admission): a CancelledError from a server that is no longer the mapped
+/// one is retried against its replacement, so clients of a hot-swapped name
+/// never observe the swap except through which model answered.
+///
+/// Thread-safe: any number of submitters, swappers, and readers.
+class ArtifactRegistry {
+ public:
+  /// `defaults` applies to installs that don't carry their own options.
+  explicit ArtifactRegistry(ServerOptions defaults = {});
+
+  /// Drains every installed server (equivalent to remove() on each name).
+  ~ArtifactRegistry();
+
+  ArtifactRegistry(const ArtifactRegistry&) = delete;
+  ArtifactRegistry& operator=(const ArtifactRegistry&) = delete;
+
+  /// Installs `model` under `name`, replacing (and draining) any previous
+  /// holder.  Returns the now-serving server.
+  std::shared_ptr<Server> install(const std::string& name,
+                                  std::shared_ptr<const CompiledModel> model);
+  std::shared_ptr<Server> install(const std::string& name,
+                                  std::shared_ptr<const CompiledModel> model,
+                                  ServerOptions options);
+
+  /// Loads an artifact file (CompiledModel::load: validated, zero-copy
+  /// weights) and installs it under `name`.
+  std::shared_ptr<Server> install_file(const std::string& name, const std::string& path);
+
+  /// Hot swap: like install, but throws InvalidGraphError when `name` is not
+  /// currently serving — a swap is a replacement, not a first deploy.  The
+  /// new server reuses the old one's options.
+  std::shared_ptr<Server> swap(const std::string& name,
+                               std::shared_ptr<const CompiledModel> model);
+  std::shared_ptr<Server> swap_file(const std::string& name, const std::string& path);
+
+  /// Routes one request to whatever server currently holds `name`, retrying
+  /// transparently across a concurrent swap (see class comment).  Throws
+  /// InvalidGraphError for an unknown name; admission errors (queue full,
+  /// deadline, shape) pass through unchanged.
+  std::future<std::vector<Tensor>> submit(const std::string& name, std::vector<Tensor> inputs,
+                                          SubmitOptions options = {});
+
+  /// The server currently holding `name`; throws InvalidGraphError if none.
+  std::shared_ptr<Server> server(const std::string& name) const;
+
+  /// Installed names, unordered.
+  std::vector<std::string> names() const;
+
+  /// Stops serving `name`: drains its server and forgets it.  No-op for an
+  /// unknown name.
+  void remove(const std::string& name);
+
+ private:
+  struct Entry {
+    std::shared_ptr<Server> server;
+    ServerOptions options;
+  };
+
+  std::shared_ptr<Server> replace(const std::string& name,
+                                  std::shared_ptr<const CompiledModel> model,
+                                  std::optional<ServerOptions> options, bool must_exist);
+
+  ServerOptions defaults_;
+  mutable std::mutex mutex_;
+  std::map<std::string, Entry> entries_;  ///< guarded by mutex_
 };
 
 }  // namespace temco::serve

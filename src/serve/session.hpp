@@ -168,6 +168,9 @@ class SessionPool {
   /// Total arena bytes held resident by the pool.
   std::int64_t resident_bytes() const;
 
+  /// The artifact every session of this pool serves.
+  const CompiledModel& model() const { return *model_; }
+
   Stats stats() const;
 
   /// Retires the leased session after a corrupting fault: the slab is

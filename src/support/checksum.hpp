@@ -1,0 +1,29 @@
+// Content checksums for on-disk artifacts.
+//
+// FNV-1a 64: tiny, dependency-free, and byte-order independent (it consumes
+// bytes, never words), which is exactly what the artifact format needs — the
+// goal is detecting truncation, bit rot, and hand-tampering before the loader
+// trusts a length or offset, not cryptographic integrity.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace temco::support {
+
+inline constexpr std::uint64_t kFnv1a64Seed = 0xcbf29ce484222325ull;
+
+/// FNV-1a 64 over `n` bytes.  Pass a previous result as `seed` to chain
+/// buffers into one running checksum.
+inline std::uint64_t fnv1a64(const void* data, std::size_t n,
+                             std::uint64_t seed = kFnv1a64Seed) {
+  const unsigned char* bytes = static_cast<const unsigned char*>(data);
+  std::uint64_t hash = seed;
+  for (std::size_t i = 0; i < n; ++i) {
+    hash ^= bytes[i];
+    hash *= 0x100000001b3ull;
+  }
+  return hash;
+}
+
+}  // namespace temco::support

@@ -1,0 +1,136 @@
+// Read-only file mapping for artifact loading.
+//
+// MappedFile maps a whole file read-only and page-aligned, which is what lets
+// the artifact loader (serve/artifact.hpp) hand out zero-copy views into the
+// packed-weight section: N server processes mapping the same artifact share
+// one physical copy of the weights, and "loading" them costs page faults, not
+// a read + memcpy.  On platforms without mmap (or when the map fails) the
+// file is read into one page-aligned heap buffer instead — same interface,
+// same alignment guarantees, one copy.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#define TEMCO_HAVE_MMAP 1
+#else
+#define TEMCO_HAVE_MMAP 0
+#endif
+
+#include "support/error.hpp"
+
+namespace temco::support {
+
+/// Alignment every MappedFile buffer start is guaranteed to have, whichever
+/// backend produced it.  4096 is the smallest page size on every supported
+/// platform, and comfortably covers the 64-byte alignment the packed-weight
+/// blobs need for aligned vector loads.
+inline constexpr std::size_t kMappedFileAlignment = 4096;
+
+class MappedFile {
+ public:
+  /// Maps (or reads) `path` whole.  Throws ResourceExhaustedError when the
+  /// file cannot be opened or mapped; never returns a partial view.
+  static std::shared_ptr<const MappedFile> open(const std::string& path) {
+    auto file = std::shared_ptr<MappedFile>(new MappedFile());
+    file->path_ = path;
+#if TEMCO_HAVE_MMAP
+    const int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd >= 0) {
+      struct stat st{};
+      if (::fstat(fd, &st) == 0 && st.st_size >= 0) {
+        file->size_ = static_cast<std::size_t>(st.st_size);
+        if (file->size_ == 0) {
+          ::close(fd);
+          file->data_ = nullptr;  // empty file: a valid, empty view
+          return file;
+        }
+        void* mapped = ::mmap(nullptr, file->size_, PROT_READ, MAP_PRIVATE, fd, 0);
+        ::close(fd);
+        if (mapped != MAP_FAILED) {
+          file->data_ = static_cast<const unsigned char*>(mapped);
+          file->mmapped_ = true;
+          return file;
+        }
+      } else {
+        ::close(fd);
+      }
+    }
+#endif
+    return read_fallback(std::move(file));
+  }
+
+  ~MappedFile() {
+#if TEMCO_HAVE_MMAP
+    if (mmapped_ && data_ != nullptr) {
+      ::munmap(const_cast<unsigned char*>(data_), size_);
+      return;
+    }
+#endif
+    std::free(const_cast<unsigned char*>(data_));
+  }
+
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
+
+  const unsigned char* data() const { return data_; }
+  std::size_t size() const { return size_; }
+  const std::string& path() const { return path_; }
+  bool memory_mapped() const { return mmapped_; }
+
+ private:
+  MappedFile() = default;
+
+  static std::shared_ptr<const MappedFile> read_fallback(std::shared_ptr<MappedFile> file) {
+    std::FILE* f = std::fopen(file->path_.c_str(), "rb");
+    if (f == nullptr) {
+      throw ResourceExhaustedError("cannot open " + file->path_);
+    }
+    std::fseek(f, 0, SEEK_END);
+    const long size = std::ftell(f);
+    std::fseek(f, 0, SEEK_SET);
+    if (size < 0) {
+      std::fclose(f);
+      throw ResourceExhaustedError("cannot stat " + file->path_);
+    }
+    file->size_ = static_cast<std::size_t>(size);
+    if (file->size_ == 0) {
+      std::fclose(f);
+      return file;
+    }
+    // aligned_alloc needs a size that is a multiple of the alignment.
+    const std::size_t padded =
+        (file->size_ + kMappedFileAlignment - 1) / kMappedFileAlignment * kMappedFileAlignment;
+    unsigned char* buffer = static_cast<unsigned char*>(
+        std::aligned_alloc(kMappedFileAlignment, padded));
+    if (buffer == nullptr) {
+      std::fclose(f);
+      throw ResourceExhaustedError("cannot allocate " + std::to_string(padded) +
+                                   " bytes reading " + file->path_);
+    }
+    const std::size_t got = std::fread(buffer, 1, file->size_, f);
+    std::fclose(f);
+    if (got != file->size_) {
+      std::free(buffer);
+      throw ResourceExhaustedError("short read of " + file->path_);
+    }
+    file->data_ = buffer;
+    return file;
+  }
+
+  std::string path_;
+  const unsigned char* data_ = nullptr;
+  std::size_t size_ = 0;
+  bool mmapped_ = false;
+};
+
+}  // namespace temco::support

@@ -10,7 +10,9 @@
 // batch.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <chrono>
+#include <cstdio>
 #include <functional>
 #include <thread>
 
@@ -400,6 +402,104 @@ TEST(ServerTest, InjectedKernelFaultFailsExactlyThatBatch) {
   const auto stats = server.stats();
   EXPECT_EQ(stats.failed, 4u);
   EXPECT_EQ(stats.completed, 1u);
+}
+
+// ---- ArtifactRegistry hot swap ---------------------------------------------
+
+TEST(ArtifactRegistryTest, UnknownNamesAreTypedErrors) {
+  serve::ArtifactRegistry registry;
+  auto model = compile_zoo_model("alexnet", compile_options(2));
+  Rng rng(81);
+  auto request = random_request(*model, rng);
+  EXPECT_THROW(registry.submit("ghost", request), InvalidGraphError);
+  EXPECT_THROW(registry.server("ghost"), InvalidGraphError);
+  EXPECT_THROW(registry.swap("ghost", model), InvalidGraphError)
+      << "swap is a replacement, not a first deploy";
+  EXPECT_NO_THROW(registry.remove("ghost"));
+  registry.install("clf", model);
+  EXPECT_EQ(registry.names(), std::vector<std::string>{"clf"});
+  EXPECT_NO_THROW(registry.swap("clf", model));
+}
+
+TEST(ArtifactRegistryTest, HotSwapUnderConcurrentClientsDropsNothing) {
+  // Two models with identical signatures but different weights, so every
+  // response is attributable: bitwise model-A output, bitwise model-B output,
+  // or a misroute (which fails the test).  Model B travels through the full
+  // artifact path — saved to disk, then swapped in via swap_file — so the
+  // swap exercises load-time validation and zero-copy weights too.
+  auto model_a = compile_zoo_model("alexnet", compile_options(2));
+  models::ModelConfig config_b = serve_config();
+  config_b.seed = 999;
+  const ir::Graph graph_b = models::find_model("alexnet").build(config_b);
+  const auto model_b = CompiledModel::compile(
+      decomp::decompose(graph_b, {.ratio = 0.25}).graph, compile_options(2));
+  const std::string path = ::testing::TempDir() + "temco_swap_artifact.bin";
+  model_b->save(path);
+
+  Rng rng(91);
+  const auto request = random_request(*model_a, rng);
+  runtime::Executor single_a(model_a->graph(1), {.use_arena = true});
+  runtime::Executor single_b(model_b->graph(1), {.use_arena = true});
+  const auto want_a = single_a.run(request).outputs;
+  const auto want_b = single_b.run(request).outputs;
+  ASSERT_GT(max_abs_diff(want_a[0], want_b[0]), 0.0f) << "models must be distinguishable";
+
+  ServerOptions options;
+  options.workers = 2;
+  options.batch_timeout = 100us;
+  serve::ArtifactRegistry registry(options);
+  registry.install("clf", model_a);
+  const auto old_server = registry.server("clf");
+
+  constexpr int kClients = 4;
+  constexpr int kPerClient = 16;
+  std::atomic<int> completed{0};
+  std::atomic<int> from_a{0};
+  std::atomic<int> from_b{0};
+  std::atomic<int> misrouted{0};
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&] {
+      for (int r = 0; r < kPerClient; ++r) {
+        // submit() must absorb the swap: no CancelledError, no drop.
+        const auto got = registry.submit("clf", request).get();
+        if (max_abs_diff(got[0], want_a[0]) == 0.0f) {
+          from_a.fetch_add(1);
+        } else if (max_abs_diff(got[0], want_b[0]) == 0.0f) {
+          from_b.fetch_add(1);
+        } else {
+          misrouted.fetch_add(1);
+        }
+        completed.fetch_add(1);
+      }
+    });
+  }
+
+  // Swap mid-traffic, once the old model has demonstrably served requests.
+  ASSERT_TRUE(eventually([&] { return completed.load() >= kClients; }));
+  registry.swap_file("clf", path);
+  for (auto& client : clients) client.join();
+
+  EXPECT_EQ(completed.load(), kClients * kPerClient) << "a request was dropped";
+  EXPECT_EQ(misrouted.load(), 0) << "a response matched neither model";
+  EXPECT_GT(from_a.load(), 0) << "swap happened before any old-model traffic";
+  EXPECT_GT(from_b.load(), 0) << "swap never took effect";
+
+  // The displaced server drained: every lease returned, nothing in flight,
+  // and it no longer admits work.
+  EXPECT_EQ(old_server->stats().in_flight, 0u);
+  EXPECT_EQ(old_server->session_pool().available(), old_server->session_pool().size());
+  EXPECT_THROW(old_server->submit(request), CancelledError);
+  EXPECT_NE(registry.server("clf").get(), old_server.get());
+
+  // Post-swap steady state: registry responses are bitwise the fresh compile
+  // of model B (the artifact round-trip changed nothing).
+  const auto settled = registry.submit("clf", request).get();
+  ASSERT_EQ(settled.size(), want_b.size());
+  for (std::size_t o = 0; o < want_b.size(); ++o) {
+    EXPECT_EQ(max_abs_diff(settled[o], want_b[o]), 0.0f) << "output " << o;
+  }
+  std::remove(path.c_str());
 }
 
 }  // namespace
