@@ -44,6 +44,14 @@ struct TemcoOptions {
   /// outright (they would be rejected by the compute check anyway).
   int max_restore_depth = 24;
 
+  /// Hard cap on the arena slab of the emitted graph
+  /// (runtime::plan_arena(...).arena_bytes).  When > 0, a final
+  /// "budget_schedule" pass runs runtime::schedule_for_budget — beam-searched
+  /// reordering plus rematerialization — and optimize() raises a typed
+  /// ResourceExhaustedError naming the best achievable peak if the budget
+  /// cannot be met.  0 (default) = unconstrained, no extra pass.
+  std::int64_t max_arena_bytes = 0;
+
   // ---- semantics-preservation guardrails (core/pass_manager.hpp) ----------
 
   /// Re-verify graph structure and re-check shape inference after every pass;

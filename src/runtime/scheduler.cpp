@@ -18,11 +18,9 @@ using ir::Graph;
 using ir::Node;
 using ir::ValueId;
 
-/// Rebuilds the graph with nodes in `order` (a permutation of ids).  Only
-/// ids are remapped: every other node field — the name, the weight tensors
-/// (shared, not copied), attrs, kind — is carried over verbatim, so a
-/// scheduled graph stays debuggable against the original and weights keep
-/// aliasing the same storage.  Tested in tests/test_scheduler.cpp.
+}  // namespace
+
+// Tested in tests/test_scheduler.cpp.
 Graph rebuild_in_order(const Graph& graph, const std::vector<ValueId>& order) {
   Graph out;
   std::vector<ValueId> remap(graph.size(), ir::kInvalidValue);
@@ -50,8 +48,6 @@ Graph rebuild_in_order(const Graph& graph, const std::vector<ValueId>& order) {
   out.verify();
   return out;
 }
-
-}  // namespace
 
 ScheduleResult schedule_for_memory(const ir::Graph& graph,
                                    const WavefrontOptions& wave_options) {

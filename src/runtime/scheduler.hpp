@@ -37,4 +37,11 @@ struct ScheduleResult {
 ScheduleResult schedule_for_memory(const ir::Graph& graph,
                                    const WavefrontOptions& wave_options = {});
 
+/// Rebuilds the graph with nodes in `order` (a topological permutation of
+/// ids).  Only ids are remapped: names, weight tensors (shared, not copied),
+/// attrs and kinds carry over verbatim, so a scheduled graph stays debuggable
+/// against the original and weights keep aliasing the same storage.  Shared
+/// by the greedy scheduler and the budget search (runtime/budget.hpp).
+ir::Graph rebuild_in_order(const ir::Graph& graph, const std::vector<ir::ValueId>& order);
+
 }  // namespace temco::runtime

@@ -84,6 +84,8 @@ void write_meta(Writer& out, const CompiledModel& model) {
   write_bool(out, opt.arena_canaries);
   out.pod(static_cast<std::uint64_t>(opt.max_batch));
   out.pod(static_cast<std::uint64_t>(opt.intra_op_threads));
+  // v2: the arena budget the schedule was searched under (0 = unconstrained).
+  out.pod(opt.max_arena_bytes);
 
   const core::TemcoOptions& t = opt.temco;
   write_bool(out, t.enable_skip_opt);
@@ -94,6 +96,7 @@ void write_meta(Writer& out, const CompiledModel& model) {
   out.pod(t.compute_threshold_scale);
   out.pod(t.memory_slack);
   out.pod(static_cast<std::int32_t>(t.max_restore_depth));
+  out.pod(t.max_arena_bytes);  // v2: pipeline-level budget knob
   write_bool(out, t.verify_passes);
   write_bool(out, t.numeric_oracle);
   out.pod(t.oracle_tolerance);
@@ -124,6 +127,10 @@ MetaCounts read_meta(Reader& in, CompileOptions& opt, core::OptimizeStats& stats
       << "implausible max_batch " << max_batch;
   opt.max_batch = static_cast<std::size_t>(max_batch);
   opt.intra_op_threads = static_cast<std::size_t>(in.pod<std::uint64_t>());
+  opt.max_arena_bytes = in.pod<std::int64_t>();
+  TEMCO_CHECK_AS(opt.max_arena_bytes >= 0 && opt.max_arena_bytes <= kMaxPlanBytes,
+                 InvalidGraphError)
+      << "implausible arena budget " << opt.max_arena_bytes;
 
   core::TemcoOptions& t = opt.temco;
   t.enable_skip_opt = read_bool(in, "meta.enable_skip_opt");
@@ -134,6 +141,9 @@ MetaCounts read_meta(Reader& in, CompileOptions& opt, core::OptimizeStats& stats
   t.compute_threshold_scale = in.pod<double>();
   t.memory_slack = in.pod<double>();
   t.max_restore_depth = in.pod<std::int32_t>();
+  t.max_arena_bytes = in.pod<std::int64_t>();
+  TEMCO_CHECK_AS(t.max_arena_bytes >= 0 && t.max_arena_bytes <= kMaxPlanBytes, InvalidGraphError)
+      << "implausible pipeline arena budget " << t.max_arena_bytes;
   t.verify_passes = read_bool(in, "meta.verify_passes");
   t.numeric_oracle = read_bool(in, "meta.numeric_oracle");
   t.oracle_tolerance = in.pod<double>();

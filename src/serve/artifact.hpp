@@ -67,7 +67,9 @@ inline constexpr char kArtifactMagic[8] = {'T', 'M', 'C', 'O', 'A', 'R', 'T', '\
 /// When bumping, regenerate tests/data/golden_artifact_v*.bin (tools/
 /// temco_artifact golden) and keep the old golden checked in: the version-
 /// skew test proves the new loader still *rejects* it with a typed error.
-inline constexpr std::uint32_t kArtifactFormatVersion = 1;
+/// History: v1 — initial container; v2 — meta section gains the arena-budget
+/// stamps (CompileOptions::max_arena_bytes, TemcoOptions::max_arena_bytes).
+inline constexpr std::uint32_t kArtifactFormatVersion = 2;
 
 /// Section identifiers; see the file-layout comment above.
 enum class ArtifactSection : std::uint32_t {

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "kernels/gemm.hpp"
+#include "runtime/budget.hpp"
 #include "support/align.hpp"
 #include "support/log.hpp"
 
@@ -23,13 +24,41 @@ std::shared_ptr<const CompiledModel> CompiledModel::compile(const ir::Graph& gra
   // equivalent to optimizing each variant — minus max_batch-1 pipeline runs.
   ir::Graph base = ir::rebatched(graph, 1);
   if (options.optimize) {
-    base = core::optimize(base, options.temco, &model->stats_);
+    // The pipeline's own budget pass would search the batch-1 graph; compile
+    // searches the max_batch variant below (the one that sizes the slab), so
+    // it is suppressed here and the stamped options_ keep the user's intent.
+    core::TemcoOptions temco = options.temco;
+    temco.max_arena_bytes = 0;
+    base = core::optimize(base, temco, &model->stats_);
   }
   base.verify();
 
   runtime::ArenaOptions arena_options;
   arena_options.scratch_slots = 0;  // size for the global intra-op pool
   if (options.arena_canaries) arena_options.canary_bytes = kTensorAlignment;
+
+  const std::int64_t budget =
+      options.max_arena_bytes > 0 ? options.max_arena_bytes : options.temco.max_arena_bytes;
+  if (budget > 0) {
+    // Search the widest variant: its plan is the slab every session allocates.
+    // The budget-meeting order (remat duplicates included) de-batches back to
+    // the batch-1 template, so every restamped variant inherits the schedule.
+    ir::Graph widest = options.max_batch == 1
+                           ? base
+                           : ir::rebatched(base, static_cast<std::int64_t>(options.max_batch));
+    runtime::BudgetOptions budget_options;
+    budget_options.max_bytes = budget;
+    budget_options.arena = arena_options;
+    runtime::BudgetScheduleResult scheduled = runtime::schedule_for_budget(widest, budget_options);
+    TEMCO_CHECK_AS(scheduled.met, ResourceExhaustedError)
+        << "arena budget of " << budget << " B is unmeetable at batch " << options.max_batch
+        << ": best achievable slab is " << scheduled.achieved_arena_bytes << " B ("
+        << scheduled.remat_nodes << " rematerialized node(s), predicted slowdown "
+        << scheduled.predicted_slowdown << "x)";
+    base = options.max_batch == 1 ? std::move(scheduled.graph)
+                                  : ir::rebatched(scheduled.graph, 1);
+    base.verify();
+  }
 
   model->variants_.reserve(options.max_batch);
   model->plans_.reserve(options.max_batch);
@@ -42,6 +71,13 @@ std::shared_ptr<const CompiledModel> CompiledModel::compile(const ir::Graph& gra
     model->variants_.push_back(std::move(variant));
     model->plans_.push_back(std::move(plan));
   }
+
+  // Defensive: the searched schedule met the budget at max_batch, and batch
+  // restamping preserves the order, so no variant should pack wider — but the
+  // slab is the contract sessions size by, so it is re-checked, not assumed.
+  TEMCO_CHECK_AS(budget <= 0 || model->slab_bytes_ <= budget, ResourceExhaustedError)
+      << "validated slab of " << model->slab_bytes_ << " B exceeds the arena budget of "
+      << budget << " B after batch restamping";
 
   // One packing serves all variants: it depends on weight contents and
   // output width only, and the variants share weight tensors by handle.

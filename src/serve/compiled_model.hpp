@@ -54,6 +54,16 @@ struct CompileOptions {
   /// pool, N ≥ 1 = each session executor owns a dedicated N-thread kernel
   /// pool.  Results are bit-identical for any width.
   std::size_t intra_op_threads = 0;
+
+  /// Hard cap on slab_bytes() — the per-session arena a tenant pays for.
+  /// When > 0, compile() runs runtime::schedule_for_budget on the max_batch
+  /// variant (the one that sizes the slab) and bakes the budget-meeting
+  /// schedule into every variant; an unmeetable budget raises
+  /// ResourceExhaustedError naming the best achievable slab.  Takes
+  /// precedence over temco.max_arena_bytes (compile's own search already
+  /// covers the pipeline's pass).  Artifacts stamp the value; outputs stay
+  /// bitwise-identical to the unconstrained schedule.  0 = unconstrained.
+  std::int64_t max_arena_bytes = 0;
 };
 
 class CompiledModel {

@@ -262,7 +262,7 @@ TEST(ArtifactRoundTrip, FileLoadBorrowsPackedWeightsZeroCopy) {
 // ---- version skew -----------------------------------------------------------
 
 std::string golden_path() {
-  return std::string(TEMCO_TEST_DATA_DIR) + "/golden_artifact_v1.bin";
+  return std::string(TEMCO_TEST_DATA_DIR) + "/golden_artifact_v2.bin";
 }
 
 // The checked-in golden (written by `temco_artifact golden` at v-current)
@@ -280,6 +280,24 @@ TEST(ArtifactVersionSkew, GoldenArtifactLoads) {
   ASSERT_EQ(1u, outputs.size());
   for (std::int64_t i = 0; i < outputs[0].numel(); ++i) {
     ASSERT_TRUE(std::isfinite(outputs[0][i]));
+  }
+}
+
+// The previous format's golden stays checked in precisely so this test can
+// exist: a v1 file (meta lacks the v2 arena-budget stamps) must fail closed
+// with a typed error naming both versions, never be half-parsed.
+TEST(ArtifactVersionSkew, PreviousVersionGoldenRejectedNamingBothVersions) {
+  const std::string v1_path = std::string(TEMCO_TEST_DATA_DIR) + "/golden_artifact_v1.bin";
+  const std::string bytes = read_file(v1_path);
+  try {
+    serve::load_artifact_bytes(bytes.data(), bytes.size());
+    FAIL() << "v1 artifact should not load in a v2 runtime";
+  } catch (const InvalidGraphError& e) {
+    const std::string message = e.what();
+    EXPECT_NE(std::string::npos, message.find("v1")) << message;
+    EXPECT_NE(std::string::npos,
+              message.find("v" + std::to_string(serve::kArtifactFormatVersion)))
+        << message;
   }
 }
 

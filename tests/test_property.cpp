@@ -5,14 +5,23 @@
 //  P2  TeMCO never increases planned peak and never changes outputs,
 //      across a sweep of decomposed chain shapes
 //  P3  Equations (1)–(4) of §2.2 hold exactly for the two-conv example
+//  P4  across the zoo, the arena planner's planned slab is what the executor
+//      actually touches: the measured high-water mark of a poison-filled
+//      caller slab reaches the top of the packed tensor region
 #include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <cstring>
+#include <memory>
 
 #include "core/temco.hpp"
 #include "decomp/pass.hpp"
+#include "models/zoo.hpp"
 #include "runtime/arena.hpp"
 #include "runtime/executor.hpp"
 #include "runtime/liveness.hpp"
 #include "runtime/planner.hpp"
+#include "support/align.hpp"
 #include "support/rng.hpp"
 #include "tensor/compare.hpp"
 
@@ -247,6 +256,72 @@ TEST(MemoryModelTest, Equations1And2WeightBytes) {
       4;
   EXPECT_EQ(dec.graph.total_weight_bytes(), expected_weights);
   EXPECT_LT(dec.graph.total_weight_bytes(), g.total_weight_bytes());
+}
+
+// ---- P4: planned peak == measured high-water mark across the zoo -------------
+
+TEST(ZooPlannerFidelityTest, PlannedSlabEqualsMeasuredHighWaterMark) {
+  // The budget scheduler treats plan_arena's arena_bytes as ground truth for
+  // "what a session pays", so that number must be what execution physically
+  // touches — not an over-estimate the packer quietly pads.  Proof by poison:
+  // fill a caller-owned slab with kArenaPoisonByte, run once, and find the
+  // highest byte the run overwrote.  It must reach the top of the packed
+  // tensor region: the only legal slack is the final block's alignment
+  // padding (its payload may stop up to kTensorAlignment - 1 bytes short of
+  // the aligned block end).
+  for (const auto& spec : models::model_zoo()) {
+    models::ModelConfig config;
+    config.batch = 1;
+    config.image = spec.family == "UNet" ? 32 : 16;
+    config.width = 0.125;
+    config.classes = 8;
+    config.seed = 11;
+    const auto original = spec.build(config);
+    const auto decomposed = decomp::decompose(original, {.ratio = 0.25}).graph;
+    const auto g = core::optimize(decomposed, {});
+
+    const auto plan = runtime::plan_arena(g);
+    runtime::validate_arena_plan(g, plan);
+
+    std::unique_ptr<float, void (*)(float*)> slab(
+        static_cast<float*>(std::aligned_alloc(static_cast<std::size_t>(kTensorAlignment),
+                                               static_cast<std::size_t>(plan.arena_bytes))),
+        [](float* p) { std::free(p); });
+    ASSERT_NE(slab.get(), nullptr) << spec.name;
+    std::memset(slab.get(), runtime::kArenaPoisonByte,
+                static_cast<std::size_t>(plan.arena_bytes));
+
+    runtime::ExecutorBinding binding;
+    binding.plan = &plan;
+    binding.slab = slab.get();
+    binding.slab_bytes = plan.arena_bytes;
+    runtime::Executor executor(g, {.use_arena = true}, binding);
+
+    Rng rng(23);
+    Tensor input;
+    for (const auto& node : g.nodes()) {
+      if (node.kind == ir::OpKind::kInput) input = Tensor::random_normal(node.out_shape, rng);
+    }
+    const auto bound = executor.run({input});
+    // Sanity: the bound run reproduces the reference bytes.
+    const auto ref = runtime::execute(g, {input});
+    ASSERT_EQ(bound.outputs.size(), ref.outputs.size()) << spec.name;
+    EXPECT_EQ(max_abs_diff(bound.outputs[0], ref.outputs[0]), 0.0f) << spec.name;
+
+    // Scan the packed tensor region from the top for the last written byte.
+    const auto* bytes = reinterpret_cast<const unsigned char*>(slab.get());
+    std::int64_t high_water = 0;
+    for (std::int64_t i = plan.tensor_bytes - 1; i >= 0; --i) {
+      if (bytes[i] != runtime::kArenaPoisonByte) {
+        high_water = i + 1;
+        break;
+      }
+    }
+    EXPECT_GT(high_water, 0) << spec.name << ": the run never wrote the slab";
+    EXPECT_LE(plan.tensor_bytes - high_water, kTensorAlignment)
+        << spec.name << ": planner reserved " << plan.tensor_bytes
+        << " tensor bytes but execution only touched " << high_water;
+  }
 }
 
 }  // namespace

@@ -16,6 +16,9 @@
 //   --ratio F        decomposition rank ratio    (default 0.25; 0 = skip)
 //   --max-batch N    batch variants to stamp     (default 4)
 //   --no-optimize    skip the TeMCO pipeline (baseline artifact)
+//   --max-arena-bytes N   arena budget for the schedule search (0 = off);
+//                         compile fails with ResourceExhaustedError naming the
+//                         best achievable slab when the budget is unmeetable
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -36,6 +39,7 @@ int usage() {
   std::fprintf(stderr,
                "usage: temco_artifact save <model> <path> [--image N] [--width F]\n"
                "                      [--classes N] [--ratio F] [--max-batch N] [--no-optimize]\n"
+               "                      [--max-arena-bytes N]\n"
                "       temco_artifact info <path>\n"
                "       temco_artifact golden <path>\n");
   return 2;
@@ -66,6 +70,7 @@ int cmd_save(int argc, char** argv) {
     else if (arg == "--ratio") ratio = std::atof(next());
     else if (arg == "--max-batch") options.max_batch = static_cast<std::size_t>(std::atoll(next()));
     else if (arg == "--no-optimize") options.optimize = false;
+    else if (arg == "--max-arena-bytes") options.max_arena_bytes = std::atoll(next());
     else return usage();
   }
 
@@ -94,8 +99,24 @@ int cmd_info(int argc, char** argv) {
   std::printf("max batch:       %zu\n", model->max_batch());
   std::printf("graph nodes:     %zu\n", model->graph(1).size());
   std::printf("slab bytes:      %lld\n", static_cast<long long>(model->slab_bytes()));
+  const std::int64_t budget = model->options().max_arena_bytes > 0
+                                  ? model->options().max_arena_bytes
+                                  : model->options().temco.max_arena_bytes;
+  if (budget > 0) {
+    std::printf("arena budget:    %lld (slab uses %.0f%%)\n", static_cast<long long>(budget),
+                100.0 * static_cast<double>(model->slab_bytes()) / static_cast<double>(budget));
+  } else {
+    std::printf("arena budget:    unconstrained\n");
+  }
   std::printf("weight bytes:    %lld\n", static_cast<long long>(model->weight_bytes()));
   std::printf("packed bytes:    %lld\n", static_cast<long long>(model->packed_weight_bytes()));
+  // The memory geometry capacity planning needs: what one session of each
+  // batch variant actually allocates.
+  for (std::size_t k = 1; k <= model->max_batch(); ++k) {
+    std::printf("  batch %-2zu slab: %lld B (%zu tensors)\n", k,
+                static_cast<long long>(model->plan(k).arena_bytes),
+                model->plan(k).blocks.size());
+  }
   std::printf("inputs/outputs:  %zu/%zu\n", model->num_inputs(), model->num_outputs());
   if (model->options().optimize) {
     std::printf("pipeline stats:  %s\n", model->stats().to_string().c_str());
