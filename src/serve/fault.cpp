@@ -1,0 +1,27 @@
+#include "serve/fault.hpp"
+
+#include "support/error.hpp"
+
+namespace temco::serve {
+
+FaultClass classify_fault(const std::exception_ptr& error) {
+  try {
+    std::rethrow_exception(error);
+  } catch (const TransientFaultError&) {
+    return FaultClass::kTransient;
+  } catch (const ResourceExhaustedError&) {
+    return FaultClass::kTransient;
+  } catch (const DeadlineExceededError&) {
+    return FaultClass::kDeadline;
+  } catch (const CancelledError&) {
+    return FaultClass::kCancelled;
+  } catch (const MemoryCorruptionError&) {
+    return FaultClass::kCorrupting;
+  } catch (const NumericError&) {
+    return FaultClass::kCorrupting;
+  } catch (...) {
+    return FaultClass::kTerminal;
+  }
+}
+
+}  // namespace temco::serve

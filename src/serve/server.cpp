@@ -2,42 +2,10 @@
 
 #include <algorithm>
 
+#include "serve/fault.hpp"
 #include "support/log.hpp"
 
 namespace temco::serve {
-
-namespace {
-
-/// What a batch failure means for the retry/quarantine machinery.
-enum class FaultClass {
-  kTransient,   ///< spurious and non-corrupting: safe to re-execute
-  kCorrupting,  ///< the session's memory is suspect: quarantine it
-  kDeadline,    ///< the batch ran out of SLO: typed resolution, no retry
-  kCancelled,   ///< the run was abandoned (watchdog/shutdown)
-  kTerminal,    ///< anything else: fail the batch, keep the session
-};
-
-FaultClass classify(const std::exception_ptr& error) {
-  try {
-    std::rethrow_exception(error);
-  } catch (const TransientFaultError&) {
-    return FaultClass::kTransient;
-  } catch (const ResourceExhaustedError&) {
-    return FaultClass::kTransient;
-  } catch (const DeadlineExceededError&) {
-    return FaultClass::kDeadline;
-  } catch (const CancelledError&) {
-    return FaultClass::kCancelled;
-  } catch (const MemoryCorruptionError&) {
-    return FaultClass::kCorrupting;
-  } catch (const NumericError&) {
-    return FaultClass::kCorrupting;
-  } catch (...) {
-    return FaultClass::kTerminal;
-  }
-}
-
-}  // namespace
 
 Server::Server(std::shared_ptr<const CompiledModel> model, ServerOptions options)
     : model_(std::move(model)), options_(options) {
@@ -49,6 +17,15 @@ Server::Server(std::shared_ptr<const CompiledModel> model, ServerOptions options
   TEMCO_CHECK_AS(options_.max_batch <= model_->max_batch(), ResourceExhaustedError)
       << "server max_batch " << options_.max_batch << " exceeds the model's compiled ceiling "
       << model_->max_batch();
+  TEMCO_CHECK_AS(options_.batch_timeout.count() >= 0, InvalidGraphError)
+      << "batch_timeout must be non-negative";
+  TEMCO_CHECK_AS(options_.retry_backoff.count() >= 0, InvalidGraphError)
+      << "retry_backoff must be non-negative";
+  TEMCO_CHECK_AS(options_.hang_budget.count() >= 0, InvalidGraphError)
+      << "hang_budget must be non-negative";
+  TEMCO_CHECK_AS(options_.breaker_threshold == 0 || options_.breaker_recovery >= 1,
+                 InvalidGraphError)
+      << "breaker_recovery must be at least 1 when the breaker is enabled";
   if (options_.watchdog_interval.count() <= 0) options_.watchdog_interval = std::chrono::milliseconds(1);
 
   pool_ = std::make_unique<SessionPool>(model_, options_.sessions);
@@ -353,7 +330,7 @@ void Server::execute_batch(std::vector<RequestPtr>& batch, bool degraded) {
       const bool hung = watch_end(watch);
       token.reset();
       const std::exception_ptr error = std::current_exception();
-      const FaultClass fault = classify(error);
+      const FaultClass fault = classify_fault(error);
 
       if (fault == FaultClass::kCorrupting) {
         // Terminal for the session too: its memory is suspect.  The pool
@@ -478,6 +455,11 @@ ServerStats Server::stats() const {
   snapshot.batched_requests = counters_.batched_requests.load(std::memory_order_relaxed);
   snapshot.max_batch_seen = counters_.max_batch_seen.load(std::memory_order_relaxed);
   snapshot.in_flight = counters_.in_flight.load(std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    snapshot.queue_depth = queue_.size();
+  }
+  snapshot.resident_arena_bytes = pool_->resident_bytes();
   snapshot.degraded = degraded_.load(std::memory_order_relaxed);
   return snapshot;
 }

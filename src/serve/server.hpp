@@ -145,6 +145,8 @@ struct ServerStats {
   std::uint64_t batched_requests = 0;   ///< requests summed over those batches
   std::uint64_t max_batch_seen = 0;     ///< largest coalesced batch so far
   std::uint64_t in_flight = 0;          ///< claimed by a worker, not yet resolved
+  std::uint64_t queue_depth = 0;        ///< requests queued at snapshot time (gauge)
+  std::int64_t resident_arena_bytes = 0;  ///< session-pool slab residency (gauge)
   bool degraded = false;                ///< breaker currently in degraded mode
 };
 
@@ -228,7 +230,7 @@ class Server {
   ServerOptions options_;
   std::unique_ptr<SessionPool> pool_;
 
-  std::mutex queue_mutex_;
+  mutable std::mutex queue_mutex_;  ///< mutable: stats() samples queue depth
   std::condition_variable queue_cv_;
   std::deque<RequestPtr> queue_;
   bool stopping_ = false;

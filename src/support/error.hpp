@@ -73,6 +73,19 @@ class DeadlineExceededError : public Error {
   using Error::Error;
 };
 
+/// Admission control's verdict that a request is already doomed: the
+/// predicted queue wait alone blows the request's deadline or the model's
+/// latency SLO, so accepting it would only burn queue capacity and a session
+/// on an answer nobody can use.  Distinct from ResourceExhaustedError (the
+/// queue may have plenty of room — time is what ran out) and from
+/// DeadlineExceededError (the deadline has NOT passed yet; it provably will):
+/// the client's correct reaction is to shed load or relax the SLO, not to
+/// back off and retry the same request.
+class SloUnmeetableError : public Error {
+ public:
+  using Error::Error;
+};
+
 /// A spurious, non-corrupting fault that is safe to retry on the same
 /// session: the failed attempt never published partial results and left no
 /// lasting damage (the arena is rewritten from scratch every run).  The

@@ -502,5 +502,163 @@ TEST(ArtifactRegistryTest, HotSwapUnderConcurrentClientsDropsNothing) {
   std::remove(path.c_str());
 }
 
+// ---- options validation (regression: every degenerate config is a typed
+// construction-time error, never a hang or a partial server) ----------------
+
+TEST(ServerTest, ConstructionRejectsDegenerateOptions) {
+  auto model = compile_zoo_model("alexnet", compile_options(2));
+  {
+    ServerOptions options;
+    options.workers = 0;
+    EXPECT_THROW(Server server(model, options), InvalidGraphError);
+  }
+  {
+    ServerOptions options;
+    options.queue_capacity = 0;
+    EXPECT_THROW(Server server(model, options), InvalidGraphError);
+  }
+  {
+    // max_batch beyond the compiled ceiling: there is no variant to run it.
+    ServerOptions options;
+    options.max_batch = 3;
+    EXPECT_THROW(Server server(model, options), ResourceExhaustedError);
+  }
+  {
+    ServerOptions options;
+    options.batch_timeout = -1us;
+    EXPECT_THROW(Server server(model, options), InvalidGraphError);
+  }
+  {
+    ServerOptions options;
+    options.retry_backoff = -1us;
+    EXPECT_THROW(Server server(model, options), InvalidGraphError);
+  }
+  {
+    ServerOptions options;
+    options.hang_budget = -1ms;
+    EXPECT_THROW(Server server(model, options), InvalidGraphError);
+  }
+  {
+    // An enabled breaker that can never close again is a misconfiguration,
+    // not a policy.
+    ServerOptions options;
+    options.breaker_threshold = 2;
+    options.breaker_recovery = 0;
+    EXPECT_THROW(Server server(model, options), InvalidGraphError);
+  }
+  // The boundary cases stay valid.
+  ServerOptions minimal;
+  minimal.workers = 1;
+  minimal.queue_capacity = 1;
+  minimal.max_batch = 2;
+  minimal.batch_timeout = 0us;
+  EXPECT_NO_THROW(Server server(model, minimal));
+}
+
+TEST(ServerTest, StatsExposeQueueDepthAndArenaResidency) {
+  auto model = compile_zoo_model("alexnet", compile_options(2));
+  ServerOptions options;
+  options.workers = 1;
+  options.sessions = 1;
+  options.max_batch = 1;
+  Server server(model, options);
+  EXPECT_EQ(server.stats().resident_arena_bytes, server.session_pool().resident_bytes());
+  EXPECT_GT(server.stats().resident_arena_bytes, 0);
+  EXPECT_EQ(server.stats().queue_depth, 0u);
+
+  // Stall the worker on session checkout: one request in flight, the rest
+  // measurably queued.
+  Rng rng(41);
+  const auto request = random_request(*model, rng);
+  SessionPool::Lease stall = server.session_pool().acquire();
+  std::vector<std::future<std::vector<Tensor>>> futures;
+  futures.push_back(server.submit(request));
+  ASSERT_TRUE(eventually([&] { return server.stats().in_flight == 1; }));
+  for (int i = 0; i < 3; ++i) futures.push_back(server.submit(request));
+  EXPECT_EQ(server.stats().queue_depth, 3u);
+
+  stall.release();
+  for (auto& future : futures) future.get();
+  server.shutdown(true);
+  EXPECT_EQ(server.stats().queue_depth, 0u);
+}
+
+TEST(ArtifactRegistryTest, TwoModelHotSwapUnderDeadlineTrafficAttributesEveryResponse) {
+  // Two names served concurrently, every request deadline-laden, both names
+  // hot-swapped mid-traffic to a different-seed compile.  The contract under
+  // test: every response is bitwise the old or the new weights of ITS name
+  // (never the other name's, never a blend), and every accepted future
+  // resolves — to a value or DeadlineExceededError, nothing dropped.
+  const char* kNames[2] = {"alex", "res"};
+  const char* kArchs[2] = {"alexnet", "resnet18"};
+  std::shared_ptr<const CompiledModel> old_model[2], new_model[2];
+  std::vector<Tensor> request[2], want_old[2], want_new[2];
+  Rng rng(77);
+  for (int m = 0; m < 2; ++m) {
+    old_model[m] = compile_zoo_model(kArchs[m], compile_options(2));
+    models::ModelConfig config = serve_config();
+    config.seed = 999;
+    const ir::Graph graph = models::find_model(kArchs[m]).build(config);
+    new_model[m] = CompiledModel::compile(decomp::decompose(graph, {.ratio = 0.25}).graph,
+                                          compile_options(2));
+    request[m] = random_request(*old_model[m], rng);
+    runtime::Executor exec_old(old_model[m]->graph(1), {.use_arena = true});
+    runtime::Executor exec_new(new_model[m]->graph(1), {.use_arena = true});
+    want_old[m] = exec_old.run(request[m]).outputs;
+    want_new[m] = exec_new.run(request[m]).outputs;
+    ASSERT_GT(max_abs_diff(want_old[m][0], want_new[m][0]), 0.0f);
+  }
+
+  ServerOptions options;
+  options.workers = 2;
+  options.batch_timeout = 100us;
+  serve::ArtifactRegistry registry(options);
+  for (int m = 0; m < 2; ++m) registry.install(kNames[m], old_model[m]);
+
+  constexpr int kClientsPerModel = 2;
+  constexpr int kPerClient = 12;
+  std::atomic<int> resolved{0}, misrouted{0}, deadline_errors{0};
+  std::atomic<int> from_old[2]{{0}, {0}}, from_new[2]{{0}, {0}};
+  std::vector<std::thread> clients;
+  for (int m = 0; m < 2; ++m) {
+    for (int c = 0; c < kClientsPerModel; ++c) {
+      clients.emplace_back([&, m] {
+        for (int r = 0; r < kPerClient; ++r) {
+          serve::SubmitOptions submit_options;
+          submit_options.timeout = 500ms;  // generous: present, not binding
+          try {
+            const auto got = registry.submit(kNames[m], request[m], submit_options).get();
+            if (max_abs_diff(got[0], want_old[m][0]) == 0.0f) {
+              from_old[m].fetch_add(1);
+            } else if (max_abs_diff(got[0], want_new[m][0]) == 0.0f) {
+              from_new[m].fetch_add(1);
+            } else {
+              misrouted.fetch_add(1);
+            }
+          } catch (const DeadlineExceededError&) {
+            deadline_errors.fetch_add(1);
+          }
+          resolved.fetch_add(1);
+        }
+      });
+    }
+  }
+  // Swap both names once each has demonstrably served old-model traffic.
+  for (int m = 0; m < 2; ++m) {
+    ASSERT_TRUE(eventually([&] { return from_old[m].load() >= 2; }));
+    registry.swap(kNames[m], new_model[m]);
+  }
+  for (auto& client : clients) client.join();
+
+  EXPECT_EQ(resolved.load(), 2 * kClientsPerModel * kPerClient) << "a request was dropped";
+  EXPECT_EQ(misrouted.load(), 0) << "a response matched neither generation of its name";
+  for (int m = 0; m < 2; ++m) {
+    EXPECT_GT(from_old[m].load(), 0) << kNames[m] << " swapped before any old traffic";
+    // Post-swap, both names answer with the new weights.
+    const auto settled = registry.submit(kNames[m], request[m]).get();
+    EXPECT_EQ(max_abs_diff(settled[0], want_new[m][0]), 0.0f) << kNames[m];
+  }
+}
+
 }  // namespace
 }  // namespace temco

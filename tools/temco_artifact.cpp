@@ -2,8 +2,11 @@
 //
 //   temco_artifact save <model> <path> [options]   compile a zoo model and
 //                                                  freeze it to an artifact
-//   temco_artifact info <path>                     load (full validation) and
-//                                                  print an artifact summary
+//   temco_artifact info <path> [--json]            load (full validation) and
+//                                                  print an artifact summary;
+//                                                  --json emits a machine-
+//                                                  readable per-variant
+//                                                  slab/budget report
 //   temco_artifact golden <path>                   write the canonical tiny
 //                                                  artifact the version-skew
 //                                                  test pins (deterministic
@@ -40,7 +43,7 @@ int usage() {
                "usage: temco_artifact save <model> <path> [--image N] [--width F]\n"
                "                      [--classes N] [--ratio F] [--max-batch N] [--no-optimize]\n"
                "                      [--max-arena-bytes N]\n"
-               "       temco_artifact info <path>\n"
+               "       temco_artifact info <path> [--json]\n"
                "       temco_artifact golden <path>\n");
   return 2;
 }
@@ -88,9 +91,53 @@ int cmd_save(int argc, char** argv) {
 
 int cmd_info(int argc, char** argv) {
   if (argc < 1) return usage();
-  const auto file = support::MappedFile::open(argv[0]);
+  bool json = false;
+  const char* path = nullptr;
+  for (int i = 0; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      json = true;
+    } else if (path == nullptr) {
+      path = argv[i];
+    } else {
+      return usage();
+    }
+  }
+  if (path == nullptr) return usage();
+  const auto file = support::MappedFile::open(path);
   const auto model = serve::load_artifact(file);
-  std::printf("artifact:        %s (%zu bytes, %s)\n", argv[0], file->size(),
+  const std::int64_t budget = model->options().max_arena_bytes > 0
+                                  ? model->options().max_arena_bytes
+                                  : model->options().temco.max_arena_bytes;
+  if (json) {
+    // Stable keys for capacity-planning scripts: everything the human
+    // report prints, plus the per-variant slab table as structured rows.
+    // arena_budget_bytes 0 means unconstrained.
+    std::printf("{\n");
+    std::printf("  \"artifact\": \"%s\",\n  \"bytes\": %zu,\n  \"mmapped\": %s,\n", path,
+                file->size(), file->memory_mapped() ? "true" : "false");
+    std::printf("  \"format_version\": %u,\n  \"pack_layout_version\": %u,\n",
+                serve::kArtifactFormatVersion, model->pack_layout_version());
+    std::printf("  \"kernel_isa\": \"%s\",\n  \"optimized\": %s,\n", model->kernel_isa_name(),
+                model->options().optimize ? "true" : "false");
+    std::printf("  \"max_batch\": %zu,\n  \"graph_nodes\": %zu,\n", model->max_batch(),
+                model->graph(1).size());
+    std::printf("  \"slab_bytes\": %lld,\n  \"arena_budget_bytes\": %lld,\n",
+                static_cast<long long>(model->slab_bytes()), static_cast<long long>(budget));
+    std::printf("  \"weight_bytes\": %lld,\n  \"packed_weight_bytes\": %lld,\n",
+                static_cast<long long>(model->weight_bytes()),
+                static_cast<long long>(model->packed_weight_bytes()));
+    std::printf("  \"inputs\": %zu,\n  \"outputs\": %zu,\n", model->num_inputs(),
+                model->num_outputs());
+    std::printf("  \"variants\": [\n");
+    for (std::size_t k = 1; k <= model->max_batch(); ++k) {
+      std::printf("    {\"batch\": %zu, \"slab_bytes\": %lld, \"tensors\": %zu}%s\n", k,
+                  static_cast<long long>(model->plan(k).arena_bytes),
+                  model->plan(k).blocks.size(), k == model->max_batch() ? "" : ",");
+    }
+    std::printf("  ]\n}\n");
+    return 0;
+  }
+  std::printf("artifact:        %s (%zu bytes, %s)\n", path, file->size(),
               file->memory_mapped() ? "mmapped" : "heap copy");
   std::printf("format version:  %u\n", serve::kArtifactFormatVersion);
   std::printf("pack layout:     v%u\n", model->pack_layout_version());
@@ -99,9 +146,6 @@ int cmd_info(int argc, char** argv) {
   std::printf("max batch:       %zu\n", model->max_batch());
   std::printf("graph nodes:     %zu\n", model->graph(1).size());
   std::printf("slab bytes:      %lld\n", static_cast<long long>(model->slab_bytes()));
-  const std::int64_t budget = model->options().max_arena_bytes > 0
-                                  ? model->options().max_arena_bytes
-                                  : model->options().temco.max_arena_bytes;
   if (budget > 0) {
     std::printf("arena budget:    %lld (slab uses %.0f%%)\n", static_cast<long long>(budget),
                 100.0 * static_cast<double>(model->slab_bytes()) / static_cast<double>(budget));
